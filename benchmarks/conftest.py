@@ -1,0 +1,67 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark test measures one (implementation, configuration) cell and
+registers the result here; at session end the collected cells are printed
+as paper-style tables (Table 1/2/3, Appendix D) for comparison against
+the numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+_RESULTS = collections.defaultdict(dict)
+
+Cell = collections.namedtuple("Cell", ["value", "std", "unit"])
+
+
+class ResultsRegistry:
+    """Collects benchmark cells: table -> (row, column) -> Cell."""
+
+    def record(self, table, row, column, value, std=0.0, unit=""):
+        _RESULTS[table][(row, column)] = Cell(value, std, unit)
+
+    def get(self, table, row, column):
+        cell = _RESULTS.get(table, {}).get((row, column))
+        return None if cell is None else cell.value
+
+
+@pytest.fixture(scope="session")
+def results():
+    return ResultsRegistry()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULTS:
+        return
+    tw = session.config.get_terminal_writer() if hasattr(
+        session.config, "get_terminal_writer") else None
+
+    def emit(line=""):
+        if tw is not None:
+            tw.line(line)
+        else:  # pragma: no cover
+            print(line)
+
+    for table in sorted(_RESULTS):
+        cells = _RESULTS[table]
+        rows = sorted({r for r, _ in cells}, key=str)
+        cols = sorted({c for _, c in cells}, key=str)
+        emit()
+        emit(f"==== {table} ====")
+        header = ["impl \\ config"] + [str(c) for c in cols]
+        widths = [max(len(h), 24) for h in header]
+        emit("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        for r in rows:
+            out = [str(r).ljust(widths[0])]
+            for i, c in enumerate(cols):
+                cell = cells.get((r, c))
+                if cell is None:
+                    out.append("-".ljust(widths[i + 1]))
+                else:
+                    text = f"{cell.value:.2f}±{cell.std:.2f} {cell.unit}"
+                    out.append(text.ljust(widths[i + 1]))
+            emit("  ".join(out))
+    emit()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The paper's §9 RNN example: an imperative dynamic RNN.
+
+The exact code shape from the paper — Python ``for`` over ``tf.range``,
+a list with ``ag.set_element_type``, ``break``-free masking via
+``tf.where`` — converted by AutoGraph and verified to produce results
+identical to the library (``Official``) graph implementation.
+"""
+
+import numpy as np
+
+import repro.autograph as ag
+from repro import framework as fw
+from repro import nn
+from repro.datasets import random_sequences
+from repro.framework import ops
+
+
+def ag_dynamic_rnn(rnn_cell, input_data, initial_state, sequence_len):
+    """The paper's imperative dynamic_rnn (§9, "RNN cells")."""
+    input_data = ops.transpose(input_data, (1, 0, 2))
+    outputs = []
+    ag.set_element_type(outputs, fw.float32)
+    state = initial_state
+    if sequence_len is None:
+        max_len = ops.shape(input_data)[0]
+    else:
+        max_len = ops.reduce_max(sequence_len)
+    for i in range(max_len):
+        prev_state = state
+        output, state = rnn_cell(input_data[i], state)
+        if sequence_len is not None:
+            state = ops.where(i < sequence_len, state, prev_state)
+            output = ops.where(i < sequence_len, output, ops.zeros_like(output))
+        outputs.append(output)
+    outputs = ag.stack(outputs)
+    outputs = ops.transpose(outputs, (1, 0, 2))
+    return outputs, state
+
+
+def main():
+    batch, seq, dim, hidden = 8, 16, 32, 64
+    data, lengths = random_sequences(batch, seq, dim, seed=3)
+    cell = nn.BasicRNNCell(hidden, input_dim=dim, rng=np.random.default_rng(7))
+
+    # Official (library, hand-built while_loop + TensorArray) graph.
+    g1 = fw.Graph()
+    with g1.as_default():
+        x1 = ops.placeholder(fw.float32, [batch, seq, dim])
+        l1 = ops.placeholder(fw.int32, [batch])
+        out_official, state_official = nn.dynamic_rnn(
+            cell, x1, cell.zero_state(batch), sequence_length=l1
+        )
+    official_out, official_state = fw.Session(g1).run(
+        (out_official, state_official), {x1: data, l1: lengths}
+    )
+
+    # AutoGraph: the imperative version above, staged.
+    converted = ag.to_graph(ag_dynamic_rnn)
+    g2 = fw.Graph()
+    with g2.as_default():
+        x2 = ops.placeholder(fw.float32, [batch, seq, dim])
+        l2 = ops.placeholder(fw.int32, [batch])
+        out_ag, state_ag = converted(cell, x2, cell.zero_state(batch), l2)
+    ag_out, ag_state = fw.Session(g2).run((out_ag, state_ag), {x2: data, l2: lengths})
+
+    print("official outputs shape:", official_out.shape)
+    print("autograph outputs shape:", ag_out.shape)
+    print("max |official - autograph| (outputs):",
+          float(np.max(np.abs(official_out - ag_out))))
+    print("max |official - autograph| (state):  ",
+          float(np.max(np.abs(official_state - ag_state))))
+    assert np.allclose(official_out, ag_out, atol=1e-5)
+    assert np.allclose(official_state, ag_state, atol=1e-5)
+    print("OK: AutoGraph-converted imperative RNN matches the library graph "
+          "implementation (paper: 'produces results identical to "
+          "tf.dynamic_rnn').")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""In-graph training (paper §9, Table 2 workload).
+
+Trains a single linear layer on (synthetic) MNIST with SGD where the
+*entire training loop* — forward pass, gradients, parameter updates —
+executes inside one graph, written as an ordinary Python ``while`` loop
+and staged by AutoGraph.  One ``Session.run`` call performs all steps.
+"""
+
+import numpy as np
+
+import repro.autograph as ag
+from repro import framework as fw
+from repro.datasets import load_mnist_synthetic
+from repro.framework import ops
+
+
+def train_all_steps(batches_x, batches_y, w0, b0, num_steps, learning_rate):
+    """The full SGD loop, imperatively (converted by AutoGraph)."""
+    num_batches = ops.shape(batches_x)[0]
+    w = w0
+    b = b0
+    loss = 0.0
+    i = 0
+    while i < num_steps:
+        idx = i % num_batches
+        x = batches_x[idx]
+        y = batches_y[idx]
+        logits = ops.add(ops.matmul(x, w), b)
+        losses = ops.softmax_cross_entropy_with_logits(y, logits)
+        loss = ops.reduce_mean(losses)
+        dw, db = fw.gradients(loss, [w, b])
+        w = ops.subtract(w, ops.multiply(dw, learning_rate))
+        b = ops.subtract(b, ops.multiply(db, learning_rate))
+        i = i + 1
+    return w, b, loss
+
+
+def main():
+    batch_size, steps = 200, 300
+    images, labels = load_mnist_synthetic(num_examples=4000, seed=0)
+    n_batches = images.shape[0] // batch_size
+    bx = images[: n_batches * batch_size].reshape(n_batches, batch_size, 784)
+    onehot = np.eye(10, dtype=np.float32)[labels]
+    by = onehot[: n_batches * batch_size].reshape(n_batches, batch_size, 10)
+
+    train = ag.to_graph(train_all_steps)
+
+    graph = fw.Graph()
+    with graph.as_default():
+        px = ops.placeholder(fw.float32, bx.shape)
+        py = ops.placeholder(fw.float32, by.shape)
+        w0 = ops.zeros((784, 10))
+        b0 = ops.zeros((10,))
+        steps_t = ops.constant(steps)
+        w_f, b_f, loss_f = train(px, py, w0, b0, steps_t, 0.3)
+
+    sess = fw.Session(graph)
+    # Initial loss for reference: -log(1/10).
+    print(f"initial loss (uniform): {np.log(10.0):.4f}")
+    w, b, final_loss = sess.run((w_f, b_f, loss_f), {px: bx, py: by})
+    print(f"final loss after {steps} in-graph SGD steps: {float(final_loss):.4f}")
+
+    preds = np.argmax(images @ w + b, axis=1)
+    acc = float(np.mean(preds == labels))
+    print(f"train accuracy: {acc:.3f}")
+    assert float(final_loss) < np.log(10.0), "training should reduce the loss"
+    print("OK: the entire training process ran inside the graph "
+          "(one Session.run call).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""L-BFGS with data-dependent termination (paper Appendix D.2).
+
+The optimizer's outer loop runs *until the gradient norm passes a
+tolerance* — control flow the graph cannot know in advance.  The same
+source runs eagerly and staged; staged, the convergence check happens
+inside the graph and one Session.run performs the whole optimization.
+"""
+
+import numpy as np
+
+import repro.autograph as ag
+from repro import framework as fw
+from repro.apps.lbfgs import lbfgs_minimize, make_problem
+from repro.framework import ops
+
+
+def main():
+    a, b, x0 = make_problem(batch_size=6, dim=16, cond=25.0, seed=9)
+
+    # Eager: define-by-run, each iteration interpreted.
+    x_e, iters_e, gnorm_e = lbfgs_minimize(
+        ops.constant(a), ops.constant(b), ops.constant(x0),
+        m=5, max_iter=100, tol=1e-5,
+    )
+    print(f"eager : converged in {int(iters_e)} iterations, "
+          f"|grad| = {float(np.asarray(gnorm_e)):.2e}")
+
+    # Staged: the full optimizer is one graph.
+    converted = ag.to_graph(lbfgs_minimize)
+    g = fw.Graph()
+    with g.as_default():
+        outs = converted(ops.constant(a), ops.constant(b), ops.constant(x0),
+                         m=5, max_iter=100, tol=1e-5)
+    x_s, iters_s, gnorm_s = fw.Session(g).run(outs)
+    print(f"staged: converged in {int(iters_s)} iterations, "
+          f"|grad| = {float(gnorm_s):.2e}")
+
+    residual = np.max(np.abs(np.einsum("bij,bj->bi", a, np.asarray(x_s)) - b))
+    print(f"max residual |Ax - b| = {residual:.2e}")
+    assert int(iters_e) == int(iters_s)
+    assert np.allclose(np.asarray(x_e), x_s, atol=1e-4)
+    assert residual < 1e-2
+    print("OK: staged L-BFGS matches eager, including the data-dependent "
+          "early exit.")
+
+
+if __name__ == "__main__":
+    main()

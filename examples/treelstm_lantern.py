@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""AutoGraph targeting the Lantern backend (paper §8 and §9.1).
+
+1. Stages the paper's recursive ``tree_prod`` into the S-expression IR
+   (printing the IR, the Python → S-Expr step of the paper's pipeline)
+   and runs the compiled code, gradients included.
+2. Trains the TreeLSTM sentiment model on the synthetic treebank with the
+   AutoGraph→Lantern pipeline and checks it against the unstaged
+   reference.
+"""
+
+import numpy as np
+
+from repro import lantern
+from repro.datasets import load_treebank_synthetic
+from repro.datasets.treebank import EMPTY, Tree
+
+
+def build_value_tree(depth, rng):
+    if depth == 0:
+        node = Tree(value=float(rng.uniform(0.5, 1.5)))
+        node.left = EMPTY
+        node.right = EMPTY
+        return node
+    return Tree(
+        left=build_value_tree(depth - 1, rng),
+        right=build_value_tree(depth - 1, rng),
+        value=float(rng.uniform(0.5, 1.5)),
+    )
+
+
+def reference_prod(base, tree):
+    if tree.is_empty:
+        return base
+    return (
+        reference_prod(base, tree.left)
+        * reference_prod(base, tree.right)
+        * tree.value
+    )
+
+
+def main():
+    # --- Part 1: tree_prod, recursion staged into the IR. -----------------
+    compiled, program, _ = lantern.stage_tree_prod()
+    print("S-expression IR for tree_prod (paper §8):")
+    print(program.to_string())
+    print()
+
+    rng = np.random.default_rng(0)
+    tree = build_value_tree(4, rng)
+    staged = compiled.run("tree_prod", 2.0, tree)
+    reference = reference_prod(2.0, tree)
+    print(f"tree_prod(2.0, tree): staged={staged:.6f} reference={reference:.6f}")
+    assert abs(staged - reference) < 1e-9
+
+    # Gradient through the recursion (the CPS backward of the paper's
+    # generated C++).
+    value, bwd = compiled.namespace["tree_prod"](2.0, tree)[0], \
+        compiled.namespace["tree_prod"](2.0, tree)[-1]
+    d_base, _ = bwd(1.0)
+    eps = 1e-6
+    numeric = (reference_prod(2.0 + eps, tree) - reference_prod(2.0 - eps, tree)) / (2 * eps)
+    print(f"d(tree_prod)/d(base): cps={d_base:.6f} numeric={numeric:.6f}")
+
+    # --- Part 2: TreeLSTM sentiment training (Table 3 workload). ------------
+    trees = load_treebank_synthetic(num_trees=30, embed_dim=32, seed=1)
+    model = lantern.LanternTreeLSTM(hidden_dim=32, num_classes=5)
+    model.compile()
+
+    staged_loss = model.loss(trees[0])
+    ref_loss = model.eager_reference_loss(trees[0])
+    print(f"\nTreeLSTM first-tree loss: staged={staged_loss:.6f} "
+          f"reference={ref_loss:.6f}")
+    assert abs(staged_loss - ref_loss) < 1e-4
+
+    losses = []
+    for epoch in range(3):
+        total = 0.0
+        for tree in trees:
+            total += model.train_step(tree, learning_rate=0.05)
+        losses.append(total / len(trees))
+        print(f"epoch {epoch}: mean loss {losses[-1]:.4f}")
+    assert losses[-1] < losses[0], "training should reduce the loss"
+    print("OK: recursive model trained through AutoGraph -> Lantern.")
+
+
+if __name__ == "__main__":
+    main()

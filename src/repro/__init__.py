@@ -1,0 +1,17 @@
+"""Reproduction of *AutoGraph: Imperative-style Coding with Graph-based
+Performance* (Moldovan et al., MLSys 2019).
+
+Packages:
+  - :mod:`repro.framework` -- the TensorFlow-like substrate (eager + graph).
+  - :mod:`repro.autograph` -- the paper's contribution: source-code
+    transformation + dynamic dispatch staging Python into the graph IR.
+  - :mod:`repro.lantern` -- the alternate S-expression backend with staged
+    recursion and CPS autodiff (paper Section 8).
+  - :mod:`repro.nn` -- neural-network layers used by the evaluation.
+  - :mod:`repro.datasets` -- synthetic datasets standing in for MNIST and
+    the Stanford Sentiment Treebank.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["framework", "autograph", "lantern", "nn", "datasets"]

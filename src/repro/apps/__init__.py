@@ -1,0 +1,11 @@
+"""Application workloads from the paper's evaluation (§9, Appendix D).
+
+Each module provides the imperative model code (convertible by AutoGraph)
+plus whatever mode-specific helpers the eager comparators need.  The
+benchmarks in ``benchmarks/`` and the runnable scripts in ``examples/``
+both build on these.
+"""
+
+from . import beam_search, lbfgs, maml, seq2seq
+
+__all__ = ["beam_search", "lbfgs", "maml", "seq2seq"]

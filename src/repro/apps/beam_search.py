@@ -1,0 +1,76 @@
+"""Beam search (paper Appendix D.1).
+
+"The simplest implementation of beam search is a loop that breaks if all
+candidate sequences have terminated" — the early exit is exactly what
+makes this interesting for AutoGraph: ``while ... and not done`` stages
+into the IR, so short decodes stop early in-graph too.
+
+The "language model" is a random single-layer RNN over a synthetic
+vocabulary; Appendix D.1 evaluates machinery speed, not translation
+quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework import ops
+
+__all__ = ["BeamSearchModel", "beam_search", "make_model"]
+
+
+class BeamSearchModel:
+    """Parameters of the random LM used by the beam-search benchmark."""
+
+    def __init__(self, vocab_size, hidden_dim, seed=0):
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / np.sqrt(hidden_dim)
+        self.vocab_size = vocab_size
+        self.hidden_dim = hidden_dim
+        self.embeddings = rng.normal(0, scale, (vocab_size, hidden_dim)).astype(np.float32)
+        self.w_xh = rng.normal(0, scale, (hidden_dim, hidden_dim)).astype(np.float32)
+        self.w_hh = rng.normal(0, scale, (hidden_dim, hidden_dim)).astype(np.float32)
+        self.w_out = rng.normal(0, scale, (hidden_dim, vocab_size)).astype(np.float32)
+        # Bias the EOS token so decodes terminate at varying lengths.
+        self.w_out[:, 0] += 0.05
+
+
+def make_model(vocab_size=64, hidden_dim=64, seed=0):
+    return BeamSearchModel(vocab_size, hidden_dim, seed=seed)
+
+
+def beam_search(embeddings, w_xh, w_hh, w_out, beam_size, max_len,
+                vocab_size, eos=0):
+    """Imperative beam search (convertible by AutoGraph).
+
+    Args:
+      embeddings/w_xh/w_hh/w_out: LM parameters (tensors).
+      beam_size, max_len, vocab_size, eos: python ints (staging-time
+        constants — the "macro-programming" inputs).
+
+    Returns:
+      (scores, tokens, length): per-beam log-probs, last tokens, and the
+      number of steps actually executed (early exit!).
+    """
+    hidden_dim = w_hh.shape[0]
+    h = ops.zeros((beam_size, hidden_dim))
+    scores = ops.zeros((beam_size,))
+    tokens = ops.constant(np.ones((beam_size,), np.int64))
+    length = 0
+    done = False
+    while length < max_len and not done:
+        x = ops.gather(embeddings, tokens)
+        h = ops.tanh(ops.add(ops.matmul(x, w_xh), ops.matmul(h, w_hh)))
+        logits = ops.matmul(h, w_out)
+        logp = ops.log_softmax(logits)
+        candidates = ops.add(ops.expand_dims(scores, 1), logp)
+        flat = ops.reshape(candidates, [beam_size * vocab_size])
+        top_scores, top_idx = ops.top_k(flat, beam_size)
+        beam_idx = top_idx // vocab_size
+        tokens = top_idx % vocab_size
+        scores = top_scores
+        h = ops.gather(h, beam_idx)
+        finished = ops.equal(tokens, eos)
+        done = ops.reduce_all(finished)
+        length = length + 1
+    return scores, tokens, length

@@ -1,0 +1,106 @@
+"""Continue statement lowering (paper §7.2 and §6: "continue is lowered
+using extra variables and conditionals").
+
+Within each loop body containing ``continue``:
+
+- ``continue_ = False`` is inserted at the top of the body;
+- each ``continue`` becomes ``continue_ = True``;
+- every statement that follows a possibly-continuing statement is guarded
+  by ``if not continue_:``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..pyct import templates, transformer
+
+__all__ = ["transform"]
+
+
+def _contains_continue(node):
+    stack = [node]
+    first = True
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Continue):
+            return True
+        if not first and isinstance(
+            current, (ast.While, ast.For, ast.FunctionDef,
+                      ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        first = False
+        stack.extend(ast.iter_child_nodes(current))
+    return False
+
+
+def _block_contains_continue(stmts):
+    return any(_contains_continue(s) for s in stmts)
+
+
+class _BodyRewriter:
+    def __init__(self, flag_name):
+        self.flag_name = flag_name
+
+    def rewrite_block(self, stmts):
+        out = []
+        for i, stmt in enumerate(stmts):
+            if isinstance(stmt, ast.Continue):
+                out.extend(
+                    templates.replace("flag_ = True", flag_=self.flag_name)
+                )
+                # Statements after a bare continue are dead code.
+                break
+            may_continue = _contains_continue(stmt)
+            out.append(self._rewrite_stmt(stmt))
+            if may_continue:
+                rest = self.rewrite_block(stmts[i + 1:])
+                if rest:
+                    out.extend(
+                        templates.replace(
+                            """
+                            if not flag_:
+                                rest_
+                            """,
+                            flag_=self.flag_name,
+                            rest_=rest,
+                        )
+                    )
+                return out
+        return out
+
+    def _rewrite_stmt(self, stmt):
+        if isinstance(stmt, ast.If):
+            stmt.body = self.rewrite_block(stmt.body)
+            stmt.orelse = self.rewrite_block(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            stmt.body = self.rewrite_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            stmt.body = self.rewrite_block(stmt.body)
+            for handler in stmt.handlers:
+                handler.body = self.rewrite_block(handler.body)
+            stmt.orelse = self.rewrite_block(stmt.orelse)
+            stmt.finalbody = self.rewrite_block(stmt.finalbody)
+        # While/For own their continues; leave them intact.
+        return stmt
+
+
+class _ContinueTransformer(transformer.Base):
+    def _process_loop(self, node):
+        self.generic_visit(node)  # inner loops first
+        if not _block_contains_continue(node.body):
+            return node
+        flag = self.ctx.fresh_name("continue_")
+        rewriter = _BodyRewriter(flag)
+        new_body = rewriter.rewrite_block(node.body)
+        init = templates.replace("flag_ = False", flag_=flag)
+        node.body = init + new_body
+        return node
+
+    visit_While = _process_loop
+    visit_For = _process_loop
+
+
+def transform(node, ctx):
+    return _ContinueTransformer(ctx).visit(node)

@@ -1,0 +1,76 @@
+"""List idiom conversion (paper §7.2, Lists).
+
+- empty list literals become ``ag__.new_list()`` so directives can retype
+  them into staged TensorArrays;
+- ``l.append(x)`` statements become ``l = ag__.list_append(l, x)``;
+- ``x = l.pop()`` becomes ``l, x = ag__.list_pop(l)``.
+
+Only simple-name targets are converted: rewriting ``obj.attr.append`` into
+an assignment would change object-mutation semantics (paper Appendix E's
+object-mutation caveats).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..pyct import templates, transformer
+
+__all__ = ["transform"]
+
+
+def _is_method_call(expr, method):
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == method
+        and isinstance(expr.func.value, ast.Name)
+    )
+
+
+class _ListTransformer(transformer.Base):
+    def visit_List(self, node):
+        self.generic_visit(node)
+        if isinstance(node.ctx, ast.Load) and not node.elts:
+            return templates.replace_as_expression("ag__.new_list()")
+        return node
+
+    def visit_Expr(self, node):
+        self.generic_visit(node)
+        if _is_method_call(node.value, "append") and len(node.value.args) == 1:
+            target = node.value.func.value.id
+            return templates.replace(
+                "target_ = ag__.list_append(target_, elem_)",
+                target_=target,
+                elem_=node.value.args[0],
+            )
+        if _is_method_call(node.value, "pop") and not node.value.args:
+            target = node.value.func.value.id
+            return templates.replace(
+                "target_, _ = ag__.list_pop(target_)", target_=target
+            )
+        return node
+
+    def visit_Assign(self, node):
+        self.generic_visit(node)
+        if (
+            len(node.targets) == 1
+            and _is_method_call(node.value, "pop")
+            and not node.value.args
+        ):
+            list_name = node.value.func.value.id
+            target = node.targets[0]
+            # Avoid rewriting when the popped value is assigned back onto
+            # the list symbol itself (l = l.pop() — pathological).
+            if isinstance(target, ast.Name) and target.id == list_name:
+                return node
+            return templates.replace(
+                "target_, dst_ = ag__.list_pop(target_)",
+                target_=list_name,
+                dst_=target,
+            )
+        return node
+
+
+def transform(node, ctx):
+    return _ListTransformer(ctx).visit(node)

@@ -1,0 +1,40 @@
+"""Conversion allowlist configuration (paper Appendix E).
+
+Functions from these modules are never converted: they *are* the staging
+machinery or are known tensor-safe (the framework itself plays the role of
+TF's whitelisted module; NumPy and the stdlib run as ordinary Python).
+"""
+
+from __future__ import annotations
+
+__all__ = ["DO_NOT_CONVERT_PREFIXES", "is_allowlisted_module"]
+
+DO_NOT_CONVERT_PREFIXES = (
+    "repro.framework",
+    "repro.autograph",
+    "repro.lantern",
+    "repro.nn",
+    "numpy",
+    "builtins",
+    "collections",
+    "functools",
+    "itertools",
+    "math",
+    "random",
+    "time",
+    "os",
+    "sys",
+    "typing",
+    "dataclasses",
+    "scipy",
+)
+
+
+def is_allowlisted_module(module_name):
+    """True when functions of ``module_name`` are called unconverted."""
+    if module_name is None:
+        return False
+    return any(
+        module_name == prefix or module_name.startswith(prefix + ".")
+        for prefix in DO_NOT_CONVERT_PREFIXES
+    )

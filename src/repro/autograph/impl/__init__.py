@@ -1,0 +1,5 @@
+"""Conversion driver and public API implementation."""
+
+from . import api, conversion
+
+__all__ = ["api", "conversion"]

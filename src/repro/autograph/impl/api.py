@@ -1,0 +1,186 @@
+"""Public AutoGraph API: ``convert``, ``to_graph``, ``converted_call``.
+
+``converted_call`` is the runtime heart of §7.2 (Function Calls): every
+call site in converted code routes through it, and it decides — per the
+target's runtime type — to recursively convert, substitute an overload
+(builtins), or call unconverted (allowlisted modules, constructors,
+functions without source).
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import warnings
+
+from .. import errors
+from ..core.config import is_allowlisted_module
+from ..core.converter import ConversionOptions
+from ..operators import dispatch as op_dispatch
+from ..operators import py_builtins
+from . import conversion
+
+__all__ = ["convert", "to_graph", "converted_call", "do_not_convert"]
+
+# Conversion cache: code object -> (converted_fn, module, freevar names).
+_CONVERSION_CACHE = {}
+_FAILED_CONVERSIONS = set()
+
+
+def do_not_convert(fn):
+    """Decorator marking ``fn`` to always be called unconverted."""
+    fn.__ag_do_not_convert__ = True
+    return fn
+
+
+def _converted_entity(fn, options):
+    """Convert (or fetch from cache) and refresh closure bindings."""
+    key = fn.__code__
+    record = _CONVERSION_CACHE.get(key)
+    if record is None:
+        converted, module, _ = conversion.convert_entity(fn, options)
+        record = (converted, module, fn.__code__.co_freevars)
+        _CONVERSION_CACHE[key] = record
+    else:
+        converted, module, freevars = record
+        # Refresh free variables: the same code object may be bound to
+        # different closures across calls (factory functions).
+        if freevars and fn.__closure__:
+            ns = module.__dict__
+            for name, cell in zip(freevars, fn.__closure__):
+                try:
+                    ns[name] = cell.cell_contents
+                except ValueError:
+                    pass
+    return record[0]
+
+
+def _should_convert(f):
+    """Apply the allowlist/convertibility rules of Appendix E Table 5."""
+    if getattr(f, "__ag_do_not_convert__", False):
+        return False
+    if getattr(f, "__ag_compiled__", False):
+        return False
+    code = getattr(f, "__code__", None)
+    if code is None:
+        return False
+    if conversion.is_generated_file(code.co_filename):
+        return False
+    if code in _FAILED_CONVERSIONS:
+        return False
+    module = getattr(f, "__module__", None)
+    if is_allowlisted_module(module):
+        return False
+    return True
+
+
+def converted_call(f, args=(), kwargs=None, options=None):
+    """Call ``f``, converting it first when appropriate.
+
+    This is the overload substituted for every call site (§7.2): builtins
+    may be replaced, user functions are converted recursively, everything
+    else is called as-is.
+    """
+    kwargs = kwargs or {}
+    options = options or ConversionOptions()
+
+    # Replaced builtins (print, len, range, int, float).
+    overload = py_builtins.overload_of(f)
+    if overload is not f:
+        return overload(*args, **kwargs)
+
+    # Staged-call interception (Lantern's __call_staged, §8): backends that
+    # stage recursion claim calls to registered functions here.
+    if op_dispatch._CALL_INTERCEPTORS:
+        result = op_dispatch.intercept_call(f, args, kwargs)
+        if result is not op_dispatch.NOT_INTERCEPTED:
+            return result
+
+    # @convert-decorated wrappers: unwrap so the cache is shared.
+    original = getattr(f, "__ag_original__", None)
+    if original is not None:
+        f = original
+
+    # Constructors are not converted (Appendix E Table 5).
+    if isinstance(f, type):
+        return f(*args, **kwargs)
+
+    # Bound methods: convert the underlying function, pass self explicitly.
+    if inspect.ismethod(f):
+        if _should_convert(f.__func__) and options.recursive:
+            converted = _try_convert(f.__func__, options)
+            if converted is not None:
+                return converted(f.__self__, *args, **kwargs)
+        return f(*args, **kwargs)
+
+    if inspect.isfunction(f):
+        if options.recursive and _should_convert(f):
+            converted = _try_convert(f, options)
+            if converted is not None:
+                return converted(*args, **kwargs)
+        return f(*args, **kwargs)
+
+    # Callable objects: route through their (possibly convertible) __call__.
+    if callable(f) and hasattr(f, "__call__") and inspect.ismethod(f.__call__):
+        return converted_call(f.__call__, args, kwargs, options)
+
+    return f(*args, **kwargs)
+
+
+def _try_convert(f, options):
+    try:
+        return _converted_entity(f, options)
+    except errors.ConversionError as e:
+        _FAILED_CONVERSIONS.add(f.__code__)
+        warnings.warn(
+            f"AutoGraph could not convert {getattr(f, '__name__', f)!r} and "
+            f"will run it as-is. Cause: {e}",
+            stacklevel=2,
+        )
+        return None
+
+
+def to_graph(f, recursive=True):
+    """Convert ``f`` now and return the converted function (paper §5).
+
+    Entities passed directly are always converted (Appendix E footnote b).
+    """
+    options = ConversionOptions(recursive=recursive)
+    original = getattr(f, "__ag_original__", None)
+    if original is not None:
+        f = original
+    if inspect.ismethod(f):
+        converted = _converted_entity(f.__func__, options)
+        return functools.partial(converted, f.__self__)
+    if not inspect.isfunction(f):
+        raise errors.ConversionError(
+            f"to_graph requires a function or method, got {type(f).__name__}"
+        )
+    return _converted_entity(f, options)
+
+
+def convert(recursive=True):
+    """The function decorator of Listing 1: ``@ag.convert()``.
+
+    Conversion happens lazily on first call and is cached; errors raised
+    by converted code are rewritten to point at the original source
+    (Appendix B).
+    """
+
+    def decorator(f):
+        options = ConversionOptions(recursive=recursive)
+
+        @functools.wraps(f)
+        def wrapper(*args, **kwargs):
+            converted = _converted_entity(f, options)
+            try:
+                return converted(*args, **kwargs)
+            except errors.AutoGraphError:
+                raise
+            except Exception as e:
+                raise errors.rewrite_error(e) from None
+
+        wrapper.__ag_original__ = f
+        return wrapper
+
+    return decorator

@@ -1,0 +1,123 @@
+"""Whole-function conversion driver (paper §6, General Approach).
+
+Steps, as listed in the paper:
+
+1. read the source and closure of the function;
+2. parse to AST;
+3. run each conversion pass (static analysis + transformation);
+4. serialize the final AST to output code;
+5. load it back as a Python function, attaching the original closure and
+   globals.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+
+from .. import converters, errors
+from ..core.converter import ConversionOptions
+from ..pyct import loader, origin_info, parser, transformer
+
+__all__ = ["convert_entity", "is_generated_file", "GENERATED_PREFIX"]
+
+GENERATED_PREFIX = "repro_generated_"
+
+
+def is_generated_file(filename):
+    return GENERATED_PREFIX in filename
+
+
+def _lambda_to_functiondef(lambda_node, name):
+    return ast.FunctionDef(
+        name=name,
+        args=lambda_node.args,
+        body=[ast.Return(value=lambda_node.body)],
+        decorator_list=[],
+        returns=None,
+    )
+
+
+def _closure_dict(fn):
+    out = {}
+    if fn.__closure__:
+        for name, cell in zip(fn.__code__.co_freevars, fn.__closure__):
+            try:
+                out[name] = cell.cell_contents
+            except ValueError:
+                pass  # empty cell (still being defined)
+    return out
+
+
+def convert_entity(fn, options=None):
+    """Convert a live function into its staged form.
+
+    Returns:
+      (converted_fn, generated_module, generated_source): the converted
+      callable (whose globals are the generated module's namespace), the
+      module, and its source code.
+
+    Raises:
+      errors.ConversionError: when the source cannot be obtained/converted.
+    """
+    options = options or ConversionOptions()
+
+    try:
+        node, source = parser.parse_entity(fn)
+    except parser.ConversionSourceError as e:
+        raise errors.ConversionError(str(e)) from e
+
+    entity_name = fn.__name__ if fn.__name__ != "<lambda>" else "lam"
+    if isinstance(node, ast.Lambda):
+        node = _lambda_to_functiondef(node, entity_name)
+        ast.fix_missing_locations(node)
+
+    filename = inspect.getsourcefile(fn) or "<unknown>"
+    lineno_offset = max(fn.__code__.co_firstlineno - 1, 0)
+    origin_info.resolve(node, source, filename, entity_name, lineno_offset)
+
+    # Strip decorators: re-applying @ag.convert in generated code would
+    # recurse (§6 step 1 obtains the undecorated function body).
+    node.decorator_list = []
+
+    info = transformer.EntityInfo(
+        name=entity_name,
+        source=source,
+        filename=filename,
+        namespace=dict(fn.__globals__),
+    )
+    ctx = transformer.Context(info)
+
+    try:
+        for conversion_pass in converters.PASS_ORDER:
+            node = conversion_pass.transform(node, ctx)
+    except errors.AutoGraphError:
+        raise
+    except Exception as e:
+        raise errors.ConversionError(
+            f"Failed to convert {entity_name!r}: {type(e).__name__}: {e}"
+        ) from e
+
+    module, generated_source, generated_filename = loader.ast_to_object(node)
+    source_map = origin_info.create_source_map(
+        node, generated_source, generated_filename
+    )
+    errors.register_source_map(generated_filename, source_map)
+
+    converted = getattr(module, entity_name)
+
+    # Attach the original function's world: globals, then closure values
+    # (closure shadows globals), then the operator namespace.
+    module.__dict__.update(
+        {k: v for k, v in fn.__globals__.items() if k not in module.__dict__}
+    )
+    module.__dict__.update(_closure_dict(fn))
+    from .. import operators as _operators
+
+    module.__dict__["ag__"] = _operators
+
+    converted.__ag_compiled__ = True
+    converted.__ag_source__ = generated_source
+    converted.__ag_module__ = module
+    converted.__wrapped_original__ = fn
+    return converted, module, generated_source

@@ -1,0 +1,77 @@
+"""Function scopes: per-call wrapper state (paper §7.2, Function Wrappers).
+
+The function_wrappers converter wraps every converted function body in a
+``FunctionScope``.  In graph mode it opens a name scope (readable graphs),
+collects staged side effects (prints, asserts) and attaches them as
+control dependencies of the returned tensor so they survive graph pruning;
+it also intercepts framework errors to attach original-source context
+(Appendix B).
+"""
+
+from __future__ import annotations
+
+from repro.framework import context as fw_context
+from repro.framework.graph.graph import Tensor as SymbolicTensor
+
+__all__ = ["FunctionScope", "with_function_scope", "register_side_effect"]
+
+_SCOPE_STACK = []
+
+
+def register_side_effect(op_output):
+    """Record a staged side-effect op with the innermost function scope."""
+    if _SCOPE_STACK and isinstance(op_output, SymbolicTensor):
+        _SCOPE_STACK[-1].side_effects.append(op_output)
+
+
+class FunctionScope:
+    """Context manager active for the duration of a converted call."""
+
+    def __init__(self, function_name):
+        self.function_name = function_name
+        self.side_effects = []
+        self._name_scope_cm = None
+
+    def __enter__(self):
+        _SCOPE_STACK.append(self)
+        if fw_context.has_default_graph():
+            graph = fw_context.get_default_graph()
+            self._name_scope_cm = graph.name_scope(self.function_name)
+            self._name_scope_cm.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if _SCOPE_STACK and _SCOPE_STACK[-1] is self:
+            _SCOPE_STACK.pop()
+        if self._name_scope_cm is not None:
+            self._name_scope_cm.__exit__(exc_type, exc, tb)
+            self._name_scope_cm = None
+        return False
+
+    def ret(self, value):
+        """Mark the function's return value.
+
+        Attaches collected side effects as control dependencies so that
+        fetching the result also runs staged prints/asserts.
+        """
+        from repro.autograph.operators.variables import Undefined, UndefinedReturnValue
+
+        if isinstance(value, UndefinedReturnValue):
+            value = None
+        elif isinstance(value, Undefined):
+            # Returning a symbol that was never assigned on the taken path.
+            raise value.read_error()
+        if self.side_effects and isinstance(value, SymbolicTensor):
+            from repro.framework import ops
+
+            value = ops.identity(value)
+            for effect in self.side_effects:
+                value.op.add_control_input(effect.op)
+            self.side_effects = []
+        return value
+
+
+def with_function_scope(thunk, function_name):
+    """Run ``thunk`` inside a fresh FunctionScope (non-decorator form)."""
+    with FunctionScope(function_name) as scope:
+        return scope.ret(thunk())

@@ -1,0 +1,87 @@
+"""Logical and comparison operator overloads (paper §7.2).
+
+Python cannot overload ``and``/``or``/``not`` (they are lazy), and the
+framework's tensors deliberately do not overload ``==`` (see
+``TensorOpsMixin``).  The logical_expressions converter therefore rewrites
+these into the functions below, which dispatch on runtime types.
+
+Lazy semantics are preserved when staging: ``a and b`` becomes
+``cond(a, lambda: b, lambda: a)`` (paper Appendix E, footnote h).
+"""
+
+from __future__ import annotations
+
+from repro.framework import ops
+from repro.framework.eager.tensor import EagerTensor
+from repro.framework.graph.graph import Tensor as SymbolicTensor
+
+from . import dispatch
+
+__all__ = ["and_", "or_", "not_", "eq", "not_eq", "gt_", "gt_e", "lt_", "lt_e"]
+
+
+def _is_tensor(value):
+    return isinstance(value, (SymbolicTensor, EagerTensor)) or (
+        dispatch.staging_backend_for(value) is not None
+    )
+
+
+def and_(a_fn, b_fn):
+    """Lazy ``a and b``; operands passed as thunks to preserve laziness."""
+    a = a_fn()
+    backend = dispatch.staging_backend_for(a)
+    if backend is not None and hasattr(backend, "and_"):
+        return backend.and_(a, b_fn)
+    if isinstance(a, SymbolicTensor):
+        return ops.cond(a, lambda: _as_cond_tensor(b_fn()), lambda: a)
+    if isinstance(a, EagerTensor):
+        return ops.logical_and(a, b_fn()) if bool(a) else a
+    return a and b_fn()
+
+
+def or_(a_fn, b_fn):
+    """Lazy ``a or b``."""
+    a = a_fn()
+    backend = dispatch.staging_backend_for(a)
+    if backend is not None and hasattr(backend, "or_"):
+        return backend.or_(a, b_fn)
+    if isinstance(a, SymbolicTensor):
+        return ops.cond(a, lambda: a, lambda: _as_cond_tensor(b_fn()))
+    if isinstance(a, EagerTensor):
+        return a if bool(a) else ops.logical_or(a, b_fn())
+    return a or b_fn()
+
+
+def _as_cond_tensor(value):
+    if isinstance(value, SymbolicTensor):
+        return value
+    return ops.constant(bool(value))
+
+
+def not_(a):
+    """``not a`` with tensor dispatch."""
+    backend = dispatch.staging_backend_for(a)
+    if backend is not None and hasattr(backend, "not_"):
+        return backend.not_(a)
+    if _is_tensor(a):
+        return ops.logical_not(a)
+    return not a
+
+
+def _comparison(op_fn, py_fn, name):
+    def compare(a, b):
+        if _is_tensor(a) or _is_tensor(b):
+            return op_fn(a, b)
+        return py_fn(a, b)
+
+    compare.__name__ = name
+    compare.__doc__ = f"Dispatched ``{name}`` comparison."
+    return compare
+
+
+eq = _comparison(ops.equal, lambda a, b: a == b, "eq")
+not_eq = _comparison(ops.not_equal, lambda a, b: a != b, "not_eq")
+gt_ = _comparison(ops.greater, lambda a, b: a > b, "gt_")
+gt_e = _comparison(ops.greater_equal, lambda a, b: a >= b, "gt_e")
+lt_ = _comparison(ops.less, lambda a, b: a < b, "lt_")
+lt_e = _comparison(ops.less_equal, lambda a, b: a <= b, "lt_e")

@@ -1,0 +1,77 @@
+"""Reified undefined values (paper §7.2, Control Flow).
+
+Python allows symbols to be defined in only some branches of a
+conditional.  The functional form of staged control flow must return
+*every* symbol either branch modifies, so symbols a branch does not define
+are represented by :class:`Undefined`.  Using an Undefined value raises a
+clear error — the "verify and explicitly delete undefined symbols before
+use" behavior the paper lists as planned work.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Undefined", "UndefinedReturnValue", "ld", "ldu"]
+
+
+class Undefined:
+    """Marker for a symbol with no value on this code path."""
+
+    __slots__ = ("symbol_name",)
+
+    def __init__(self, symbol_name):
+        self.symbol_name = symbol_name
+
+    def read_error(self):
+        return UnboundLocalError(
+            f"local variable {self.symbol_name!r} is referenced before "
+            "assignment (it was only defined on some code paths)"
+        )
+
+    # Any meaningful interaction with an undefined value is an error.
+    def __bool__(self):
+        raise self.read_error()
+
+    def __getattr__(self, name):
+        if name in ("symbol_name", "read_error"):
+            return object.__getattribute__(self, name)
+        raise self.read_error()
+
+    def __getitem__(self, key):
+        raise self.read_error()
+
+    def __call__(self, *args, **kwargs):
+        raise self.read_error()
+
+    def __iter__(self):
+        raise self.read_error()
+
+    def __add__(self, other):
+        raise self.read_error()
+
+    __radd__ = __sub__ = __rsub__ = __mul__ = __rmul__ = __add__
+    __truediv__ = __rtruediv__ = __lt__ = __gt__ = __le__ = __ge__ = __add__
+
+    def __repr__(self):
+        return f"<undefined symbol {self.symbol_name!r}>"
+
+
+class UndefinedReturnValue(Undefined):
+    """Marker for "the function did not return" (paper §7.2, Return)."""
+
+    def __init__(self):
+        super().__init__("<return value>")
+
+
+def ld(value):
+    """Load a symbol, raising if it is undefined."""
+    if isinstance(value, Undefined):
+        raise value.read_error()
+    return value
+
+
+def ldu(value_fn, name):
+    """Load-or-undefined: used where a symbol may legitimately be unset."""
+    try:
+        return value_fn()
+    except (NameError, UnboundLocalError):
+        return Undefined(name)

@@ -1,0 +1,33 @@
+"""pyct: the source-code-transformation toolkit (paper Appendix C).
+
+Parsing, pretty-printing, templated rewriting, AST loading, qualified
+names, CFG construction and the static analyses of Section 7.1.
+"""
+
+from . import (
+    anno,
+    ast_util,
+    cfg,
+    loader,
+    origin_info,
+    parser,
+    pretty_printer,
+    qual_names,
+    templates,
+    transformer,
+)
+from . import static_analysis
+
+__all__ = [
+    "anno",
+    "ast_util",
+    "cfg",
+    "loader",
+    "origin_info",
+    "parser",
+    "pretty_printer",
+    "qual_names",
+    "templates",
+    "transformer",
+    "static_analysis",
+]

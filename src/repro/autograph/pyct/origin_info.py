@@ -1,0 +1,103 @@
+"""Source maps: generated code lines -> original user code (Appendix B).
+
+Every AST node is annotated with an :class:`OriginInfo` before conversion.
+After code generation, :func:`create_source_map` pairs each line of the
+generated file with the origin of the node that produced it, enabling the
+error-rewriting machinery in :mod:`repro.autograph.errors`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import namedtuple
+
+from . import anno
+
+__all__ = ["OriginInfo", "resolve", "create_source_map"]
+
+
+class OriginInfo(namedtuple("OriginInfo",
+                            ["filename", "function_name", "lineno", "col_offset",
+                             "source_line"])):
+    """Location of a node in the user's original source."""
+
+    def as_frame(self):
+        """(filename, lineno, function_name, source_line) traceback tuple."""
+        return (self.filename, self.lineno, self.function_name, self.source_line)
+
+    def __str__(self):
+        return f"{self.filename}:{self.lineno} ({self.function_name})"
+
+
+def resolve(root, source, filename, entity_name, entity_lineno_offset=0):
+    """Annotate every node under ``root`` with its OriginInfo.
+
+    Args:
+      root: the parsed entity AST (before any transformation).
+      source: the (dedented) source the AST was parsed from.
+      filename: the original file.
+      entity_name: name of the function being converted.
+      entity_lineno_offset: line offset of ``source`` within ``filename``
+        (0 when ``source`` starts at the top of the file).
+    """
+    lines = source.splitlines()
+    current_fn = [entity_name]
+
+    def annotate(node, fn_name):
+        lineno = getattr(node, "lineno", None)
+        if lineno is not None and 1 <= lineno <= len(lines):
+            info = OriginInfo(
+                filename=filename,
+                function_name=fn_name,
+                lineno=lineno + entity_lineno_offset,
+                col_offset=getattr(node, "col_offset", 0),
+                source_line=lines[lineno - 1].strip(),
+            )
+            anno.setanno(node, anno.Basic.ORIGIN, info)
+
+    def walk(node, fn_name):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn_name = node.name
+        annotate(node, fn_name)
+        for child in ast.iter_child_nodes(node):
+            walk(child, fn_name)
+
+    walk(root, entity_name)
+    return root
+
+
+def create_source_map(converted_node, generated_source, generated_filename):
+    """Map generated-file line numbers to OriginInfo.
+
+    The converted AST carries ORIGIN annotations (copied through the
+    transforms), but its linenos predate unparsing.  We therefore re-parse
+    the generated source and walk both trees in parallel — they are
+    structurally identical by construction — reading line numbers from the
+    re-parsed tree and origins from the converted tree.
+    """
+    source_map = {}
+    try:
+        reparsed = ast.parse(generated_source)
+    except SyntaxError:  # pragma: no cover - generated code is valid
+        return source_map
+
+    converted_nodes = list(ast.walk(converted_node))
+    # The reparsed tree is a Module wrapping the converted entity.
+    reparsed_nodes = list(ast.walk(reparsed))
+    if reparsed_nodes and isinstance(reparsed_nodes[0], ast.Module):
+        reparsed_nodes = reparsed_nodes[1:]
+
+    if len(converted_nodes) != len(reparsed_nodes):
+        # Structure drifted (e.g. wrapper statements); map what we can by
+        # first-line annotation only.
+        reparsed_nodes = []
+
+    for conv, repr_node in zip(converted_nodes, reparsed_nodes):
+        origin = anno.getanno(conv, anno.Basic.ORIGIN)
+        lineno = getattr(repr_node, "lineno", None)
+        if origin is None or lineno is None:
+            continue
+        key = (generated_filename, lineno)
+        if key not in source_map:
+            source_map[key] = origin
+    return source_map

@@ -1,0 +1,46 @@
+"""AST pretty printer: ``fmt(node)`` (paper Appendix C).
+
+Renders an AST in the indented field-per-line format shown in the paper,
+which makes transformation passes easy to debug.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["fmt"]
+
+_INDENT = "|   "
+
+
+def fmt(node, indent=0):
+    """Return a pretty-printable string representing the AST."""
+    prefix = _INDENT * indent
+    if isinstance(node, ast.AST):
+        lines = [f"{prefix}{type(node).__name__}:"]
+        for field in node._fields:
+            value = getattr(node, field, None)
+            lines.append(_fmt_field(field, value, indent + 1))
+        return "\n".join(lines)
+    return f"{prefix}{node!r}"
+
+
+def _fmt_field(name, value, indent):
+    prefix = _INDENT * indent
+    if isinstance(value, ast.AST):
+        sub = fmt(value, indent)
+        # Inline the node type after the field name.
+        sub = sub[len(prefix):]
+        return f"{prefix}{name}={sub}"
+    if isinstance(value, list):
+        if not value:
+            return f"{prefix}{name}=[]"
+        lines = [f"{prefix}{name}=["]
+        for item in value:
+            if isinstance(item, ast.AST):
+                lines.append(fmt(item, indent + 1))
+            else:
+                lines.append(f"{_INDENT * (indent + 1)}{item!r}")
+        lines.append(f"{prefix}]")
+        return "\n".join(lines)
+    return f"{prefix}{name}={value!r}"

@@ -1,0 +1,5 @@
+"""Static analyses run before each conversion pass (paper §7.1)."""
+
+from . import activity, liveness, reaching_definitions
+
+__all__ = ["activity", "liveness", "reaching_definitions"]

@@ -1,0 +1,65 @@
+"""Liveness analysis (§7.1): symbols live into/out of compound statements.
+
+Backward may-analysis over the CFG.  The control-flow converter uses:
+
+- ``LIVE_VARS_OUT`` on an ``If``: symbols live after the statement —
+  the modified symbols in this set become the staged conditional's
+  returned state.
+- ``LIVE_VARS_IN_HEADER`` on a loop: symbols live at the loop header
+  (i.e. carried around the back edge or out of the loop) — the modified
+  symbols in this set become the staged loop's state.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .. import anno, cfg
+from .annos import node_reads_writes
+
+__all__ = ["resolve"]
+
+
+class _Liveness(cfg.GraphVisitor):
+    def __init__(self, graph):
+        super().__init__(graph)
+        self._gen = {}
+        self._kill = {}
+
+    def init_state(self, node):
+        self.in_[id(node)] = frozenset()
+        self.out[id(node)] = frozenset()
+        reads, writes = node_reads_writes(node)
+        self._gen[id(node)] = frozenset(reads)
+        self._kill[id(node)] = frozenset(writes)
+
+    def visit_node(self, node):
+        out = frozenset().union(*(self.in_[id(s)] for s in node.next)) if node.next else frozenset()
+        in_ = self._gen[id(node)] | (out - self._kill[id(node)])
+        changed = (out != self.out[id(node)]) or (in_ != self.in_[id(node)])
+        self.out[id(node)] = out
+        self.in_[id(node)] = in_
+        return changed
+
+
+def resolve(root, graphs=None):
+    """Run liveness for every function under ``root`` and annotate
+    If/While/For statements."""
+    graphs = graphs or cfg.build_all(root)
+    for fn_node, graph in graphs.items():
+        solver = _Liveness(graph)
+        solver.visit_reverse()
+        for stmt, header in graph.index.items():
+            if isinstance(stmt, ast.If):
+                join = graph.joins.get(stmt)
+                live_out = solver.in_[id(join)] if join is not None else frozenset()
+                anno.setanno(stmt, anno.Static.LIVE_VARS_OUT, set(live_out))
+            elif isinstance(stmt, (ast.While, ast.For)):
+                join = graph.joins.get(stmt)
+                live_out = solver.in_[id(join)] if join is not None else frozenset()
+                anno.setanno(stmt, anno.Static.LIVE_VARS_OUT, set(live_out))
+                anno.setanno(
+                    stmt, anno.Static.LIVE_VARS_IN_HEADER,
+                    set(solver.in_[id(header)]),
+                )
+    return root

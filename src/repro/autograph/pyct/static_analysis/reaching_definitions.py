@@ -1,0 +1,80 @@
+"""Reaching definitions (§7.1): which symbols are possibly defined where.
+
+Forward may-analysis over the CFG.  Compound statements get a
+:class:`DefinednessInfo` annotation; the control-flow converter consults
+``possibly_undefined`` to decide which state symbols need reification with
+the special ``Undefined`` value (paper §7.2, Control Flow).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .. import anno, cfg
+from .annos import DefinednessInfo, node_reads_writes
+
+__all__ = ["resolve"]
+
+
+def _function_params(fn_node):
+    args = fn_node.args
+    names = set()
+    for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+        names.add(a.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+class _ReachingDefs(cfg.GraphVisitor):
+    def __init__(self, graph, entry_defs):
+        super().__init__(graph)
+        self.entry_defs = frozenset(entry_defs)
+        self._gen = {}
+
+    def init_state(self, node):
+        self.in_[id(node)] = frozenset()
+        self.out[id(node)] = frozenset()
+        _, writes = node_reads_writes(node)
+        self._gen[id(node)] = frozenset(writes)
+
+    def visit_node(self, node):
+        if node.kind == "entry":
+            in_ = self.entry_defs
+        else:
+            in_ = frozenset().union(*(self.out[id(p)] for p in node.prev)) if node.prev else frozenset()
+        out = in_ | self._gen[id(node)]
+        changed = (in_ != self.in_[id(node)]) or (out != self.out[id(node)])
+        self.in_[id(node)] = in_
+        self.out[id(node)] = out
+        return changed
+
+
+def _local_symbols(fn_node):
+    """All simple symbols bound anywhere in the function body."""
+    body_scope = anno.getanno(fn_node, anno.Static.BODY_SCOPE)
+    if body_scope is not None:
+        return {str(qn) for qn in body_scope.bound if qn.is_simple}
+    # Fallback: syntactic scan.
+    names = set(_function_params(fn_node))
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+    return names
+
+
+def resolve(root, graphs=None):
+    """Run reaching definitions for every function under ``root``."""
+    graphs = graphs or cfg.build_all(root)
+    for fn_node, graph in graphs.items():
+        params = _function_params(fn_node)
+        solver = _ReachingDefs(graph, params)
+        solver.visit_forward()
+        local_syms = _local_symbols(fn_node) | params
+        for stmt, header in graph.index.items():
+            if isinstance(stmt, (ast.If, ast.While, ast.For)):
+                info = DefinednessInfo(solver.in_[id(header)], local_syms)
+                anno.setanno(stmt, anno.Static.DEFINED_VARS_IN, info)
+    return root

@@ -1,0 +1,69 @@
+"""Base class for conversion passes.
+
+Provides the shared context (entity info, naming) and an origin-preserving
+``visit`` so that source maps survive multiple transformation passes
+(paper §6: "each pass consists of static analysis then transformation").
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import anno
+
+__all__ = ["EntityInfo", "Context", "Base"]
+
+
+class EntityInfo:
+    """Description of the entity being converted."""
+
+    def __init__(self, name, source, filename, namespace):
+        self.name = name
+        self.source = source
+        self.filename = filename
+        # The namespace (globals + closure) the original function saw;
+        # passes may consult it for binding-time decisions.
+        self.namespace = namespace
+
+
+class Context:
+    """Carried through every pass of a single conversion."""
+
+    def __init__(self, info):
+        self.info = info
+        self._name_counts = {}
+
+    def fresh_name(self, base):
+        """A unique generated symbol name, stable within this conversion."""
+        count = self._name_counts.get(base, 0)
+        self._name_counts[base] = count + 1
+        if count == 0:
+            return f"{base}"
+        return f"{base}_{count}"
+
+
+class Base(ast.NodeTransformer):
+    """Origin-preserving node transformer with conversion context."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+
+    def visit(self, node):
+        origin = anno.getanno(node, anno.Basic.ORIGIN) if isinstance(node, ast.AST) else None
+        result = super().visit(node)
+        if origin is not None:
+            for out in result if isinstance(result, list) else [result]:
+                if isinstance(out, ast.AST) and not anno.hasanno(out, anno.Basic.ORIGIN):
+                    anno.setanno(out, anno.Basic.ORIGIN, origin)
+        return result
+
+    def visit_block(self, stmts):
+        """Visit a statement list, flattening replacements."""
+        out = []
+        for stmt in stmts:
+            result = self.visit(stmt)
+            if isinstance(result, list):
+                out.extend(result)
+            elif result is not None:
+                out.append(result)
+        return out

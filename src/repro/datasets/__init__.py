@@ -1,0 +1,13 @@
+"""Synthetic datasets standing in for the paper's (see DESIGN.md §2)."""
+
+from .mnist import load_mnist_synthetic
+from .sequences import random_sequences, random_token_batches
+from .treebank import Tree, load_treebank_synthetic
+
+__all__ = [
+    "load_mnist_synthetic",
+    "random_sequences",
+    "random_token_batches",
+    "Tree",
+    "load_treebank_synthetic",
+]

@@ -1,0 +1,30 @@
+"""Synthetic MNIST substitute (DESIGN.md §2).
+
+Table 2 measures training-machinery throughput, not accuracy, so shape
+fidelity is what matters: 784-dim float32 "images", 10 integer classes.
+The data is a deterministic mixture of Gaussian class prototypes, which
+makes the linear model's loss actually decrease — handy for correctness
+tests of the training loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["load_mnist_synthetic"]
+
+
+def load_mnist_synthetic(num_examples=10000, num_classes=10, dim=784, seed=0):
+    """Deterministic MNIST-shaped dataset.
+
+    Returns:
+      (images, labels): float32 [n, dim] in [0, 1]-ish range and int64 [n].
+    """
+    rng = np.random.default_rng(seed)
+    prototypes = rng.normal(0.0, 1.0, size=(num_classes, dim))
+    labels = rng.integers(0, num_classes, size=num_examples)
+    noise = rng.normal(0.0, 0.5, size=(num_examples, dim))
+    images = prototypes[labels] + noise
+    # Squash into a pixel-like range.
+    images = (1.0 / (1.0 + np.exp(-images))).astype(np.float32)
+    return images, labels.astype(np.int64)

@@ -1,0 +1,34 @@
+"""Random sequence data for the RNN / seq2seq / beam search experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_sequences", "random_token_batches"]
+
+
+def random_sequences(batch_size, max_len, dim, min_len=None, seed=0):
+    """Dense float sequences with per-example lengths.
+
+    Returns:
+      (data, lengths): float32 [batch, max_len, dim] and int32 [batch].
+    """
+    rng = np.random.default_rng(seed)
+    data = rng.normal(0.0, 1.0, size=(batch_size, max_len, dim)).astype(np.float32)
+    if min_len is None:
+        min_len = max(1, max_len // 2)
+    lengths = rng.integers(min_len, max_len + 1, size=batch_size).astype(np.int32)
+    return data, lengths
+
+
+def random_token_batches(batch_size, seq_len, vocab_size, num_batches=1, seed=0):
+    """Integer token batches for seq2seq-style models.
+
+    Returns:
+      int64 [num_batches, batch, seq_len] (squeezed when num_batches == 1).
+    """
+    rng = np.random.default_rng(seed)
+    out = rng.integers(
+        1, vocab_size, size=(num_batches, batch_size, seq_len)
+    ).astype(np.int64)
+    return out[0] if num_batches == 1 else out

@@ -1,0 +1,80 @@
+"""Synthetic sentiment treebank (DESIGN.md §2).
+
+Stands in for the Stanford Sentiment Treebank in Table 3: binary parse
+trees with leaf word-embeddings and a 5-way root sentiment label.  Tree
+shapes are sampled from a seeded branching process so the recursion depth
+distribution resembles parse trees of short sentences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tree", "load_treebank_synthetic"]
+
+
+class Tree:
+    """A binary parse-tree node.
+
+    Attributes:
+      left/right: child Trees (None for leaves).
+      embedding: float32 [1, dim] leaf embedding (leaves only).
+      label: int sentiment class (root carries the sentence label).
+    """
+
+    __slots__ = ("left", "right", "embedding", "label", "is_leaf", "value", "is_empty")
+
+    def __init__(self, left=None, right=None, embedding=None, label=0, value=None):
+        self.left = left
+        self.right = right
+        self.embedding = embedding
+        self.label = label
+        self.is_leaf = left is None and right is None
+        # Fields used by the paper's §8 tree_prod example.
+        self.value = value
+        self.is_empty = False
+
+    def num_leaves(self):
+        if self.is_leaf:
+            return 1
+        return self.left.num_leaves() + self.right.num_leaves()
+
+    def depth(self):
+        if self.is_leaf:
+            return 1
+        return 1 + max(self.left.depth(), self.right.depth())
+
+
+class _EmptyTree:
+    """Sentinel for the §8 ``tree_prod`` example (``tree.is_empty``)."""
+
+    is_empty = True
+    is_leaf = True
+    left = None
+    right = None
+    value = None
+
+
+EMPTY = _EmptyTree()
+
+
+def _random_tree(rng, num_leaves, dim, label_pool):
+    if num_leaves == 1:
+        embedding = rng.normal(0.0, 1.0, size=(1, dim)).astype(np.float32)
+        return Tree(embedding=embedding, label=int(rng.choice(label_pool)))
+    split = int(rng.integers(1, num_leaves))
+    left = _random_tree(rng, split, dim, label_pool)
+    right = _random_tree(rng, num_leaves - split, dim, label_pool)
+    return Tree(left=left, right=right, label=int(rng.choice(label_pool)))
+
+
+def load_treebank_synthetic(num_trees=100, embed_dim=64, num_classes=5,
+                            min_leaves=4, max_leaves=18, seed=0):
+    """A list of random labelled parse trees."""
+    rng = np.random.default_rng(seed)
+    label_pool = np.arange(num_classes)
+    trees = []
+    for _ in range(num_trees):
+        n = int(rng.integers(min_leaves, max_leaves + 1))
+        trees.append(_random_tree(rng, n, embed_dim, label_pool))
+    return trees

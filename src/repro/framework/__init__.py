@@ -1,0 +1,77 @@
+"""The TensorFlow-like substrate: a dataflow-graph ML framework.
+
+Two execution modes over one op registry:
+
+- **eager** (define-by-run): ops execute immediately on NumPy values, with
+  ``GradientTape`` for autodiff — the paper's TF Eager / PyTorch analogue.
+- **graph** (define-and-run): ops are staged into a :class:`Graph` and
+  executed by a :class:`Session` with compiled plans — the paper's
+  TensorFlow graph analogue, the IR that AutoGraph lowers Python into.
+"""
+
+from . import context, dtypes, nest, shapes
+from .context import executing_eagerly
+from .dtypes import as_dtype, bool_, float32, float64, int32, int64, string, variant
+from .eager import EagerTensor, GradientTape
+from .errors import (
+    ExecutionError,
+    FetchError,
+    FrameworkError,
+    GraphError,
+    InvalidArgumentError,
+    OpError,
+    StagingError,
+    UninitializedVariableError,
+)
+from .graph import (
+    Graph,
+    Operation,
+    Session,
+    Tensor,
+    TensorArray,
+    Variable,
+    cond,
+    global_variables_initializer,
+    gradients,
+    while_loop,
+)
+from .shapes import TensorShape
+from . import ops
+
+__all__ = [
+    "ops",
+    "context",
+    "dtypes",
+    "nest",
+    "shapes",
+    "executing_eagerly",
+    "as_dtype",
+    "float32",
+    "float64",
+    "int32",
+    "int64",
+    "bool_",
+    "string",
+    "variant",
+    "EagerTensor",
+    "GradientTape",
+    "Graph",
+    "Operation",
+    "Session",
+    "Tensor",
+    "TensorArray",
+    "Variable",
+    "cond",
+    "while_loop",
+    "gradients",
+    "global_variables_initializer",
+    "TensorShape",
+    "FrameworkError",
+    "OpError",
+    "InvalidArgumentError",
+    "GraphError",
+    "StagingError",
+    "ExecutionError",
+    "UninitializedVariableError",
+    "FetchError",
+]

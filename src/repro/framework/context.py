@@ -1,0 +1,61 @@
+"""Execution context: eager by default, graph-building inside ``Graph.as_default()``.
+
+This mirrors the TF1/TF2 duality the paper works in: ops dispatched while a
+graph is "default" are recorded as nodes; otherwise they execute eagerly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "executing_eagerly",
+    "get_default_graph",
+    "has_default_graph",
+    "push_graph",
+    "pop_graph",
+    "graph_stack",
+]
+
+_STATE = threading.local()
+
+
+def _stack():
+    stack = getattr(_STATE, "graph_stack", None)
+    if stack is None:
+        stack = []
+        _STATE.graph_stack = stack
+    return stack
+
+
+def executing_eagerly():
+    """True when no graph is currently being built on this thread."""
+    return not _stack()
+
+
+def has_default_graph():
+    return bool(_stack())
+
+
+def get_default_graph():
+    stack = _stack()
+    if not stack:
+        raise RuntimeError(
+            "No default graph. Use `with graph.as_default():` to build graph ops."
+        )
+    return stack[-1]
+
+
+def push_graph(graph):
+    _stack().append(graph)
+
+
+def pop_graph(graph):
+    stack = _stack()
+    if not stack or stack[-1] is not graph:
+        raise RuntimeError("Graph context stack corrupted (mismatched pop)")
+    stack.pop()
+
+
+def graph_stack():
+    return tuple(_stack())

@@ -1,0 +1,141 @@
+"""Data types for the framework.
+
+Mirrors the role of ``tf.DType``: a small registry of element types with
+NumPy interop, promotion rules and classification predicates.  Both the
+eager and the graph execution modes share these objects, so tensors carry
+identical type metadata regardless of how they are executed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DType",
+    "float32",
+    "float64",
+    "int32",
+    "int64",
+    "bool_",
+    "string",
+    "variant",
+    "as_dtype",
+    "from_numpy",
+    "result_dtype",
+]
+
+
+class DType:
+    """An element type.
+
+    Attributes:
+      name: canonical string name, e.g. ``"float32"``.
+      np_dtype: the corresponding NumPy dtype, or None for ``variant``.
+      is_floating / is_integer / is_bool / is_string: classification flags.
+    """
+
+    __slots__ = ("name", "np_dtype", "is_floating", "is_integer", "is_bool", "is_string")
+
+    def __init__(self, name, np_dtype, *, floating=False, integer=False, boolean=False, string=False):
+        self.name = name
+        self.np_dtype = np.dtype(np_dtype) if np_dtype is not None else None
+        self.is_floating = floating
+        self.is_integer = integer
+        self.is_bool = boolean
+        self.is_string = string
+
+    @property
+    def is_numeric(self):
+        return self.is_floating or self.is_integer
+
+    def __repr__(self):
+        return f"<dtype: {self.name!r}>"
+
+    def __str__(self):
+        return self.name
+
+    def __eq__(self, other):
+        if isinstance(other, DType):
+            return self.name == other.name
+        if isinstance(other, str):
+            return self.name == other
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(self.name)
+
+
+float32 = DType("float32", np.float32, floating=True)
+float64 = DType("float64", np.float64, floating=True)
+int32 = DType("int32", np.int32, integer=True)
+int64 = DType("int64", np.int64, integer=True)
+bool_ = DType("bool", np.bool_, boolean=True)
+string = DType("string", None, string=True)
+# `variant` carries opaque runtime values (TensorArray state, staged lists).
+variant = DType("variant", None)
+
+_BY_NAME = {
+    d.name: d for d in (float32, float64, int32, int64, bool_, string, variant)
+}
+_BY_NP = {
+    np.dtype(np.float32): float32,
+    np.dtype(np.float64): float64,
+    np.dtype(np.int32): int32,
+    np.dtype(np.int64): int64,
+    np.dtype(np.bool_): bool_,
+    # Common widths normalized onto the supported set.
+    np.dtype(np.int16): int32,
+    np.dtype(np.int8): int32,
+    np.dtype(np.uint8): int32,
+    np.dtype(np.float16): float32,
+}
+
+
+def as_dtype(value):
+    """Coerce ``value`` (DType, str, np.dtype, python type) to a DType."""
+    if isinstance(value, DType):
+        return value
+    if isinstance(value, str):
+        try:
+            return _BY_NAME[value]
+        except KeyError:
+            raise TypeError(f"Unknown dtype name: {value!r}") from None
+    if value is float:
+        return float32
+    if value is int:
+        return int32
+    if value is bool:
+        return bool_
+    if value is str:
+        return string
+    try:
+        np_dt = np.dtype(value)
+    except TypeError:
+        raise TypeError(f"Cannot convert {value!r} to a DType") from None
+    return from_numpy(np_dt)
+
+
+def from_numpy(np_dtype):
+    """Map a NumPy dtype onto a framework DType."""
+    np_dtype = np.dtype(np_dtype)
+    try:
+        return _BY_NP[np_dtype]
+    except KeyError:
+        if np_dtype.kind in ("U", "S", "O"):
+            return string
+        raise TypeError(f"Unsupported NumPy dtype: {np_dtype}") from None
+
+
+# Promotion lattice: bool < int32 < int64 < float32 < float64.
+_PROMOTION_ORDER = {"bool": 0, "int32": 1, "int64": 2, "float32": 3, "float64": 4}
+
+
+def result_dtype(a, b):
+    """Binary-op result type, following a simple promotion lattice."""
+    a = as_dtype(a)
+    b = as_dtype(b)
+    if a == b:
+        return a
+    if a.name not in _PROMOTION_ORDER or b.name not in _PROMOTION_ORDER:
+        raise TypeError(f"No promotion rule for {a} and {b}")
+    return a if _PROMOTION_ORDER[a.name] >= _PROMOTION_ORDER[b.name] else b

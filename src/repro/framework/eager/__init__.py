@@ -1,0 +1,6 @@
+"""Eager (define-by-run) execution mode."""
+
+from .tensor import EagerTensor, convert_to_eager_tensor
+from .tape import GradientTape
+
+__all__ = ["EagerTensor", "convert_to_eager_tensor", "GradientTape"]

@@ -1,0 +1,29 @@
+"""Graph execution mode: IR, tracing, session, control flow, autodiff."""
+
+from .control_flow import cond, while_loop
+from .func_graph import FuncGraph, execute_func_graph, trace_into_func_graph
+from .gradients import gradients
+from .graph import Graph, Operation, Tensor
+from .optimize import count_ops, optimize_graph
+from .session import Session
+from .tensor_array import TensorArray, TensorArrayValue
+from .variables import Variable, global_variables_initializer
+
+__all__ = [
+    "Graph",
+    "Operation",
+    "Tensor",
+    "FuncGraph",
+    "trace_into_func_graph",
+    "execute_func_graph",
+    "Session",
+    "cond",
+    "while_loop",
+    "TensorArray",
+    "TensorArrayValue",
+    "Variable",
+    "global_variables_initializer",
+    "gradients",
+    "count_ops",
+    "optimize_graph",
+]

@@ -1,0 +1,306 @@
+"""Functional control flow ops: ``cond`` and ``while_loop``.
+
+These are the graph constructs the paper's Section 3 calls "cumbersome":
+branches and loop bodies must be expressed as Python callables which are
+traced once into subgraphs (:class:`FuncGraph`).  AutoGraph's entire
+purpose is to generate calls to these from idiomatic ``if``/``while``/
+``for`` statements.
+
+Consistency requirements (paper Appendix E: "all code paths must produce
+consistent value") are enforced here with :class:`StagingError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nest
+from ..errors import StagingError
+from ..registry import register_op
+from .func_graph import FuncGraph, execute_func_graph, trace_into_func_graph
+from .graph import Tensor
+
+__all__ = ["cond", "while_loop"]
+
+
+# ---------------------------------------------------------------------------
+# Composite expansion: TensorArray objects flow through control-flow ops as
+# their variant-typed flow tensor and are re-wrapped on the way out.
+# ---------------------------------------------------------------------------
+
+
+def _expand_composites(flat_values):
+    """Map composite values to flow tensors; return (flat, rebuilders)."""
+    from .tensor_array import TensorArray
+
+    expanded = []
+    rebuilders = []
+    for v in flat_values:
+        if isinstance(v, TensorArray):
+            expanded.append(v.flow)
+            dtype = v.element_dtype
+            rebuilders.append(lambda flow, _dt=dtype: TensorArray._from_flow(_dt, flow))
+        else:
+            expanded.append(v)
+            rebuilders.append(None)
+    return expanded, rebuilders
+
+
+def _rebuild_composites(flat_values, rebuilders):
+    return [
+        rb(v) if rb is not None else v for v, rb in zip(flat_values, rebuilders)
+    ]
+
+
+def _convert_flat(values, graph):
+    """Convert flat python/np leaves to tensors of ``graph`` (with capture)."""
+    from ..ops import dispatch as ops_dispatch
+
+    out = []
+    for v in values:
+        out.append(ops_dispatch.as_graph_tensor(v, graph))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# cond
+# ---------------------------------------------------------------------------
+
+
+def _cond_kernel(pred, *capture_values, true_graph=None, false_graph=None, n_true=0):
+    if bool(np.asarray(pred)):
+        return _run_branch(true_graph, capture_values[:n_true])
+    return _run_branch(false_graph, capture_values[n_true:])
+
+
+def _run_branch(fg, capture_values):
+    out = execute_func_graph(fg, (), capture_values)
+    return out if len(out) != 1 else out[0]
+
+
+register_op("Cond", _cond_kernel, num_outputs=1, stateful=True)
+# Cond is registered with a single output by default; multi-output variants
+# are instantiated below via the `_dtype_override` mechanism plus a
+# specialized OpDef per arity.
+
+_COND_DEFS = {1: None}
+
+
+def _get_cond_def(n_outputs):
+    """Cond op with ``n_outputs`` outputs (registered lazily per arity)."""
+    from ..registry import _REGISTRY, OpDef, get_op_def
+
+    if n_outputs == 1:
+        return "Cond"
+    name = f"Cond_{n_outputs}"
+    if name not in _REGISTRY:
+        _REGISTRY[name] = OpDef(
+            name, _cond_kernel, num_outputs=n_outputs, stateful=True
+        )
+    return name
+
+
+def cond(pred, true_fn, false_fn, name="cond"):
+    """Stage a data-dependent conditional into the default graph.
+
+    Both branches are traced; their outputs must match in structure and
+    dtype.  Returns the branch output structure with symbolic tensors.
+    """
+    from .. import context
+
+    graph = context.get_default_graph()
+    if not isinstance(pred, Tensor):
+        pred = _convert_flat([pred], graph)[0]
+
+    tg = trace_into_func_graph(true_fn, [], f"{name}_true", graph)
+    fg = trace_into_func_graph(false_fn, [], f"{name}_false", graph)
+
+    t_out = tg.structured_outputs
+    f_out = fg.structured_outputs
+    try:
+        nest.assert_same_structure(t_out, f_out, "cond branches")
+    except ValueError as e:
+        raise StagingError(
+            f"cond: true_fn and false_fn must return the same structure: {e}"
+        ) from e
+
+    t_flat, t_rebuild = _expand_composites(nest.flatten(t_out))
+    f_flat, f_rebuild = _expand_composites(nest.flatten(f_out))
+    with tg.as_default():
+        t_flat = _convert_flat(t_flat, tg)
+    with fg.as_default():
+        f_flat = _convert_flat(f_flat, fg)
+
+    for i, (tt, ft) in enumerate(zip(t_flat, f_flat)):
+        # Variant is the opaque escape hatch (TensorArrays, undefined-return
+        # markers); it pairs with anything.
+        if "variant" in (tt.dtype.name, ft.dtype.name):
+            continue
+        if tt.dtype != ft.dtype:
+            raise StagingError(
+                f"cond: branch output {i} has dtype {tt.dtype.name} in true_fn "
+                f"but {ft.dtype.name} in false_fn; staged conditionals require "
+                "consistent values on all code paths"
+            )
+
+    tg.flat_outputs = t_flat
+    fg.flat_outputs = f_flat
+
+    n_out = len(t_flat)
+    if n_out == 0:
+        raise StagingError(
+            "cond: staged conditional branches must produce at least one value"
+        )
+
+    inputs = [pred] + tg.captures + fg.captures
+    shapes = [
+        tt.shape.merge_with(ft.shape) if tt.shape.is_compatible_with(ft.shape)
+        else type(tt.shape)(None)
+        for tt, ft in zip(t_flat, f_flat)
+    ]
+    op = graph.create_op(
+        _get_cond_def(n_out),
+        inputs,
+        {
+            "true_graph": tg,
+            "false_graph": fg,
+            "n_true": len(tg.captures),
+            "_dtype_override": [t.dtype for t in t_flat],
+            "_shape_override": shapes,
+        },
+        name=name,
+    )
+    flat_results = _rebuild_composites(list(op.outputs), t_rebuild)
+    return nest.pack_sequence_as(t_out, flat_results)
+
+
+# ---------------------------------------------------------------------------
+# while_loop
+# ---------------------------------------------------------------------------
+
+
+def _while_kernel(*args, cond_graph=None, body_graph=None, n_vars=0,
+                  n_cond_caps=0, maximum_iterations=None):
+    loop_vars = list(args[:n_vars])
+    cond_caps = args[n_vars:n_vars + n_cond_caps]
+    body_caps = args[n_vars + n_cond_caps:]
+    iterations = 0
+    while True:
+        keep_going = execute_func_graph(cond_graph, loop_vars, cond_caps)[0]
+        if not bool(np.asarray(keep_going)):
+            break
+        if maximum_iterations is not None and iterations >= maximum_iterations:
+            break
+        loop_vars = list(execute_func_graph(body_graph, loop_vars, body_caps))
+        iterations += 1
+    return tuple(loop_vars) if n_vars != 1 else loop_vars[0]
+
+
+def _get_while_def(n_outputs):
+    from ..registry import _REGISTRY, OpDef
+
+    name = "While" if n_outputs == 1 else f"While_{n_outputs}"
+    if name not in _REGISTRY:
+        _REGISTRY[name] = OpDef(
+            name, _while_kernel, num_outputs=n_outputs, stateful=True
+        )
+    return name
+
+
+def while_loop(cond_fn, body_fn, loop_vars, maximum_iterations=None,
+               parallel_iterations=None, name="while"):
+    """Stage a while loop into the default graph.
+
+    Args:
+      cond_fn: callable(*loop_vars) -> boolean tensor.
+      body_fn: callable(*loop_vars) -> updated loop_vars structure.
+      loop_vars: tuple/list of initial loop variables (tensors, python
+        numbers, or composites like TensorArray).
+      maximum_iterations: optional python int bound.
+      parallel_iterations: accepted for API parity; ignored.
+
+    Returns:
+      The final loop variables, matching the input structure.
+    """
+    from .. import context
+
+    graph = context.get_default_graph()
+    loop_vars = tuple(loop_vars)
+    if not loop_vars:
+        raise StagingError("while_loop requires at least one loop variable")
+
+    flat_init = nest.flatten(list(loop_vars))
+    expanded_init, rebuilders = _expand_composites(flat_init)
+    expanded_init = _convert_flat(expanded_init, graph)
+    n_vars = len(expanded_init)
+
+    arg_specs = [(t.dtype, t.shape) for t in expanded_init]
+
+    def make_callable(user_fn, wrap_result=False):
+        def traced(*flat_args):
+            rebuilt = _rebuild_composites(list(flat_args), rebuilders)
+            structured = nest.pack_sequence_as(list(loop_vars), rebuilt)
+            return user_fn(*structured)
+
+        return traced
+
+    cg = trace_into_func_graph(make_callable(cond_fn), arg_specs,
+                               f"{name}_cond", graph)
+    bg = trace_into_func_graph(make_callable(body_fn), arg_specs,
+                               f"{name}_body", graph)
+
+    # Condition output: a single boolean.
+    cond_out = cg.structured_outputs
+    with cg.as_default():
+        cond_flat = _convert_flat([cond_out], cg)
+    cg.flat_outputs = cond_flat
+
+    # Body output: must match loop var structure.
+    body_out = bg.structured_outputs
+    if isinstance(body_out, tuple) and len(loop_vars) == 1 and len(body_out) != 1:
+        # Allow body to return the single var unwrapped.
+        pass
+    if len(loop_vars) == 1 and not (isinstance(body_out, (list, tuple)) and len(body_out) == 1):
+        body_out = (body_out,)
+    try:
+        nest.assert_same_structure(list(loop_vars), list(body_out), "while body")
+    except ValueError as e:
+        raise StagingError(
+            f"while_loop: body must return the same structure as loop_vars: {e}"
+        ) from e
+
+    body_flat, _ = _expand_composites(nest.flatten(list(body_out)))
+    with bg.as_default():
+        body_flat = _convert_flat(body_flat, bg)
+    for i, (init_t, out_t) in enumerate(zip(expanded_init, body_flat)):
+        if "variant" in (init_t.dtype.name, out_t.dtype.name):
+            continue
+        if init_t.dtype != out_t.dtype:
+            raise StagingError(
+                f"while_loop: loop variable {i} enters with dtype "
+                f"{init_t.dtype.name} but the body produces {out_t.dtype.name}; "
+                "staged loops require consistent variable types"
+            )
+    bg.flat_outputs = body_flat
+
+    inputs = list(expanded_init) + cg.captures + bg.captures
+    op = graph.create_op(
+        _get_while_def(n_vars),
+        inputs,
+        {
+            "cond_graph": cg,
+            "body_graph": bg,
+            "n_vars": n_vars,
+            "n_cond_caps": len(cg.captures),
+            "maximum_iterations": maximum_iterations,
+            "_dtype_override": [t.dtype for t in expanded_init],
+            "_shape_override": [
+                init_t.shape if init_t.shape == out_t.shape else type(init_t.shape)(None)
+                for init_t, out_t in zip(expanded_init, body_flat)
+            ],
+        },
+        name=name,
+    )
+    flat_results = _rebuild_composites(list(op.outputs), rebuilders)
+    result = nest.pack_sequence_as(list(loop_vars), flat_results)
+    return tuple(result)

@@ -1,0 +1,184 @@
+"""Tracing Python callables into subgraphs with outer-tensor capture.
+
+``FuncGraph`` is how functional control-flow ops (``cond``, ``while_loop``)
+obtain their branch/body subgraphs: the Python callable runs once with
+symbolic placeholders, and any outer-graph tensor it touches is
+transparently *captured* (replaced by a placeholder recorded in
+``captures``), becoming an extra runtime input of the enclosing op.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import context, dtypes
+from ..errors import GraphError
+from ..shapes import unknown
+from .graph import Graph, Tensor
+
+__all__ = ["FuncGraph", "trace_into_func_graph", "execute_func_graph"]
+
+
+class FuncGraph(Graph):
+    """A graph produced by tracing a Python function."""
+
+    def __init__(self, name, outer_graph):
+        super().__init__(name=name)
+        self.outer_graph = outer_graph
+        # Parallel lists: captures[i] is the outer tensor whose runtime
+        # value feeds capture_placeholders[i].
+        self.captures = []
+        self.capture_placeholders = []
+        # Declared inputs (loop variables / branch parameters).
+        self.inputs = []
+        # Flat output tensors, set when tracing finishes.
+        self.flat_outputs = []
+        # Structured outputs (the traced function's return value, with
+        # placeholders substituted), kept for structure checks.
+        self.structured_outputs = None
+        # Compiled plan cache (set by execute_func_graph).
+        self._plan = None
+        self._plan_version = -1
+
+    def add_input(self, dtype, shape=None, name="arg"):
+        ph = self.placeholder(dtype, shape=shape, name=name)
+        self.inputs.append(ph)
+        return ph
+
+    def capture(self, tensor):
+        """Make ``tensor`` (from an outer graph) available inside this graph."""
+        if isinstance(tensor, Tensor):
+            if tensor.graph is self:
+                return tensor
+            for existing, ph in zip(self.captures, self.capture_placeholders):
+                if existing is tensor:
+                    return ph
+            outer = tensor
+            if tensor.graph is not self.outer_graph:
+                # Capture transitively through intermediate func graphs.
+                if isinstance(self.outer_graph, FuncGraph):
+                    outer = self.outer_graph.capture(tensor)
+                elif tensor.graph is not self.outer_graph:
+                    # Tensor from an unrelated graph: structural error.
+                    raise GraphError(
+                        f"Cannot capture {tensor.name!r}: its graph is not an "
+                        f"ancestor of {self.name!r}"
+                    )
+            ph = self.placeholder(tensor.dtype, shape=tensor.shape, name="capture")
+            self.captures.append(outer)
+            self.capture_placeholders.append(ph)
+            return ph
+        raise GraphError(f"Cannot capture non-Tensor {tensor!r}")
+
+
+def trace_into_func_graph(fn, arg_specs, name, outer_graph):
+    """Run ``fn`` symbolically, returning the populated FuncGraph.
+
+    Args:
+      fn: a Python callable taking ``len(arg_specs)`` tensors.
+      arg_specs: list of ``(dtype, shape)`` for the declared inputs.
+      name: graph name.
+      outer_graph: the graph the resulting functional op will live in.
+
+    Returns:
+      The FuncGraph; ``structured_outputs`` holds ``fn``'s return value.
+    """
+    fg = FuncGraph(name, outer_graph)
+    with fg.as_default():
+        args = [fg.add_input(dt, shape=sh, name=f"arg{i}")
+                for i, (dt, sh) in enumerate(arg_specs)]
+        result = fn(*args)
+    fg.structured_outputs = result
+    return fg
+
+
+def _compile_plan(fg):
+    """Compile ``fg`` into a flat executable plan.
+
+    The plan is pruned to the ops the declared outputs need, plus all
+    *stateful* ops — so dead code built during tracing (e.g. unused
+    gradient branches) costs nothing, while side effects inside loop
+    bodies — staged ``print``, asserts, variable assigns — still run
+    every iteration without explicit control dependencies.
+    """
+    import functools
+
+    index = {op: i for i, op in enumerate(fg.ops)}
+
+    # Reverse reachability from outputs and stateful roots.
+    needed = set()
+    stack = [t.op for t in fg.flat_outputs]
+    stack.extend(op for op in fg.ops if op.op_def.stateful)
+    while stack:
+        op = stack.pop()
+        if id(op) in needed:
+            continue
+        needed.add(id(op))
+        for t in op.inputs:
+            if id(t.op) not in needed:
+                stack.append(t.op)
+        for c in op.control_inputs:
+            if id(c) not in needed:
+                stack.append(c)
+
+    steps = []
+    for op in fg.ops:  # fg.ops is already in creation (topological) order
+        if op.type == "Placeholder":
+            steps.append(None)
+            continue
+        if id(op) not in needed:
+            steps.append(False)  # pruned: skipped by the executor
+            continue
+        locators = tuple((index[t.op], t.value_index) for t in op.inputs)
+        runtime_attrs = {k: v for k, v in op.attrs.items() if not k.startswith("_")}
+        kernel = op.op_def.kernel
+        if runtime_attrs:
+            # Pre-bind attrs so the execution loop is a plain call.
+            kernel = functools.partial(kernel, **runtime_attrs)
+        steps.append((kernel, locators, op.op_def.num_outputs == 1))
+    return steps
+
+
+def execute_func_graph(fg, input_values, capture_values):
+    """Execute a traced subgraph with concrete values.
+
+    Args:
+      fg: the FuncGraph.
+      input_values: values for ``fg.inputs`` in order.
+      capture_values: values for ``fg.capture_placeholders`` in order.
+
+    Returns:
+      Tuple of concrete values for ``fg.flat_outputs``.
+    """
+    if fg._plan is None or fg._plan_version != fg.version:
+        fg._plan = _compile_plan(fg)
+        fg._plan_version = fg.version
+        index = {op: i for i, op in enumerate(fg.ops)}
+        fg._output_locators = tuple(
+            (index[t.op], t.value_index) for t in fg.flat_outputs
+        )
+        fg._input_indices = tuple(index[ph.op] for ph in fg.inputs)
+        fg._capture_indices = tuple(index[ph.op] for ph in fg.capture_placeholders)
+
+    values = [None] * len(fg.ops)
+    # Bind placeholders: declared inputs then captures.
+    for idx, val in zip(fg._input_indices, input_values):
+        values[idx] = (val,)
+    for idx, val in zip(fg._capture_indices, capture_values):
+        values[idx] = (val,)
+
+    plan = fg._plan
+    for i, step in enumerate(plan):
+        if step is None:
+            if values[i] is None:
+                raise GraphError(
+                    f"Unbound placeholder {fg.ops[i].name!r} in subgraph {fg.name!r}"
+                )
+            continue
+        if step is False:  # pruned dead op
+            continue
+        kernel, locators, single = step
+        out = kernel(*[values[j][k] for j, k in locators])
+        values[i] = (out,) if single else tuple(out)
+
+    return tuple(values[j][k] for j, k in fg._output_locators)

@@ -1,0 +1,212 @@
+"""Variables: mutable state shared across session runs and eager code.
+
+A ``Variable`` owns a :class:`VariableState` cell.  Reads and writes are
+stateful ops whose kernels close over the cell, so the same variable works
+in eager mode (immediate reads/writes) and in graph mode (read/assign
+nodes executed by the session).  Graph-mode reads are cached per graph so
+that ``gradients()`` can treat a variable as a single leaf tensor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import context, dtypes
+from ..errors import UninitializedVariableError
+from ..registry import OpDef, _REGISTRY
+from ..shapes import TensorShape
+from ..tensor_mixin import TensorOpsMixin
+
+__all__ = ["Variable", "global_variables_initializer", "VariableState"]
+
+_VAR_COUNTER = [0]
+
+
+class VariableState:
+    """The mutable storage cell behind a Variable."""
+
+    __slots__ = ("value", "name")
+
+    def __init__(self, name):
+        self.value = None
+        self.name = name
+
+    def read(self):
+        if self.value is None:
+            raise UninitializedVariableError(
+                f"Variable {self.name!r} was read before being initialized"
+            )
+        return self.value
+
+    def write(self, value):
+        self.value = np.asarray(value)
+        return self.value
+
+    def add(self, delta):
+        self.value = self.read() + np.asarray(delta)
+        return self.value
+
+    def sub(self, delta):
+        self.value = self.read() - np.asarray(delta)
+        return self.value
+
+
+def _make_stateful_op(name, kernel, dtype):
+    """Register a per-variable op def (kernels close over the state cell)."""
+    op_name = name
+    i = 0
+    while op_name in _REGISTRY:
+        i += 1
+        op_name = f"{name}_{i}"
+    _REGISTRY[op_name] = OpDef(
+        op_name, kernel, stateful=True,
+        dtype_fn=lambda dts, attrs, _d=dtype: [_d],
+    )
+    return op_name
+
+
+class Variable(TensorOpsMixin):
+    """A mutable tensor-valued parameter."""
+
+    def __init__(self, initial_value, name=None, dtype=None, trainable=True):
+        _VAR_COUNTER[0] += 1
+        self._name = name or f"Variable_{_VAR_COUNTER[0]}"
+        from ..eager.tensor import EagerTensor
+
+        if isinstance(initial_value, EagerTensor):
+            initial_value = initial_value.numpy()
+        init = np.asarray(initial_value)
+        if dtype is not None:
+            init = init.astype(dtypes.as_dtype(dtype).np_dtype)
+        elif init.dtype == np.float64:
+            init = init.astype(np.float32)
+        self._dtype = dtypes.from_numpy(init.dtype)
+        self._shape = TensorShape(init.shape)
+        self._state = VariableState(self._name)
+        self._initial_value = init
+        self.trainable = trainable
+
+        self._read_op_name = _make_stateful_op(
+            f"ReadVariable_{self._name}", lambda: self._state.read(), self._dtype
+        )
+        self._assign_op_name = _make_stateful_op(
+            f"AssignVariable_{self._name}", lambda v: self._state.write(v), self._dtype
+        )
+        self._assign_add_op_name = _make_stateful_op(
+            f"AssignAddVariable_{self._name}", lambda v: self._state.add(v), self._dtype
+        )
+        self._assign_sub_op_name = _make_stateful_op(
+            f"AssignSubVariable_{self._name}", lambda v: self._state.sub(v), self._dtype
+        )
+
+        # Per-graph caches.
+        self._graph_reads = {}
+        self._graph_initializers = {}
+        self._eager_value_cache = None
+
+        if context.executing_eagerly():
+            self._state.write(init)
+        else:
+            g = context.get_default_graph()
+            g.add_to_collection("variables", self)
+
+    # -- metadata -------------------------------------------------------------
+
+    @property
+    def name(self):
+        return self._name
+
+    @property
+    def dtype(self):
+        return self._dtype
+
+    @property
+    def shape(self):
+        return self._shape
+
+    def numpy(self):
+        return self._state.read()
+
+    # -- reads ------------------------------------------------------------------
+
+    def value(self):
+        """Current value: an EagerTensor (eager) or a cached read op (graph)."""
+        from ..eager.tensor import EagerTensor
+
+        if context.executing_eagerly():
+            if (
+                self._eager_value_cache is None
+                or self._eager_value_cache.numpy() is not self._state.value
+            ):
+                self._eager_value_cache = EagerTensor(self._state.read())
+            return self._eager_value_cache
+        g = context.get_default_graph()
+        cached = self._graph_reads.get(id(g))
+        if cached is None:
+            op = g.create_op(self._read_op_name, [], {}, name=f"{self._name}/read")
+            cached = op.outputs[0]
+            cached.set_shape(self._shape)
+            self._graph_reads[id(g)] = cached
+        return cached
+
+    read_value = value
+
+    # Allow variables to appear directly as op inputs: the dispatch layer
+    # calls this to obtain a tensor.
+    def _as_tensor(self):
+        return self.value()
+
+    def __array__(self, dtype=None):
+        v = self._state.read()
+        return v if dtype is None else v.astype(dtype)
+
+    # -- writes ------------------------------------------------------------------
+
+    def _apply(self, op_name, delta):
+        from ..ops import dispatch
+
+        result = dispatch.run_op(op_name, [delta], {})
+        self._eager_value_cache = None
+        return result
+
+    def assign(self, value):
+        """Set the variable; returns the new value tensor."""
+        return self._apply(self._assign_op_name, value)
+
+    def assign_add(self, delta):
+        return self._apply(self._assign_add_op_name, delta)
+
+    def assign_sub(self, delta):
+        return self._apply(self._assign_sub_op_name, delta)
+
+    # -- graph initialization ------------------------------------------------------
+
+    def initializer(self, graph):
+        """Assign-op output initializing this variable in ``graph``."""
+        cached = self._graph_initializers.get(id(graph))
+        if cached is None:
+            with graph.as_default():
+                init_t = graph.constant(self._initial_value)
+                op = graph.create_op(
+                    self._assign_op_name, [init_t], {}, name=f"{self._name}/init"
+                )
+            cached = op.outputs[0]
+            self._graph_initializers[id(graph)] = cached
+        return cached
+
+    def initialize(self):
+        """Eagerly (re)initialize from the stored initial value."""
+        self._state.write(self._initial_value)
+        self._eager_value_cache = None
+
+    def __repr__(self):
+        return f"<Variable {self._name!r} shape={self._shape} dtype={self._dtype.name}>"
+
+
+def global_variables_initializer(graph=None):
+    """A fetchable op initializing every variable registered in ``graph``."""
+    graph = graph or context.get_default_graph()
+    inits = [v.initializer(graph) for v in graph.get_collection("variables")]
+    with graph.as_default():
+        op = graph.create_op("Group", inits, {}, name="init")
+    return op.outputs[0]

@@ -1,0 +1,110 @@
+"""Structure (nest) utilities.
+
+Equivalent of ``tf.nest``: flatten/pack/map over arbitrarily nested
+tuples, lists, namedtuples and dicts.  Used by control-flow ops to carry
+structured loop state and by AutoGraph operators to validate that staged
+branches produce consistent structures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "is_sequence",
+    "flatten",
+    "pack_sequence_as",
+    "map_structure",
+    "assert_same_structure",
+]
+
+
+def _is_namedtuple(value):
+    return isinstance(value, tuple) and hasattr(value, "_fields")
+
+
+def is_sequence(value):
+    """True if ``value`` is a structure this module recurses into."""
+    return isinstance(value, (tuple, list, dict)) and not isinstance(value, str)
+
+
+def flatten(structure):
+    """Flatten a nested structure into a list of leaves (dicts by sorted key)."""
+    out = []
+    _flatten_into(structure, out)
+    return out
+
+
+def _flatten_into(structure, out):
+    if isinstance(structure, dict):
+        for key in sorted(structure):
+            _flatten_into(structure[key], out)
+    elif is_sequence(structure):
+        for item in structure:
+            _flatten_into(item, out)
+    else:
+        out.append(structure)
+
+
+def pack_sequence_as(structure, flat):
+    """Inverse of :func:`flatten`: rebuild ``structure`` from leaves ``flat``."""
+    flat = list(flat)
+    packed, consumed = _pack(structure, flat, 0)
+    if consumed != len(flat):
+        raise ValueError(
+            f"Structure had {consumed} leaves but {len(flat)} values were provided"
+        )
+    return packed
+
+
+def _pack(structure, flat, index):
+    if isinstance(structure, dict):
+        result = {}
+        for key in sorted(structure):
+            result[key], index = _pack(structure[key], flat, index)
+        return type(structure)(result) if type(structure) is not dict else result, index
+    if is_sequence(structure):
+        items = []
+        for item in structure:
+            packed, index = _pack(item, flat, index)
+            items.append(packed)
+        if _is_namedtuple(structure):
+            return type(structure)(*items), index
+        return type(structure)(items), index
+    if index >= len(flat):
+        raise ValueError("Not enough leaves to pack structure")
+    return flat[index], index + 1
+
+
+def assert_same_structure(a, b, context=""):
+    """Raise ValueError unless ``a`` and ``b`` have identical nesting."""
+    prefix = f"{context}: " if context else ""
+    if isinstance(a, dict) != isinstance(b, dict):
+        raise ValueError(f"{prefix}structure mismatch: {a!r} vs {b!r}")
+    if isinstance(a, dict):
+        if sorted(a) != sorted(b):
+            raise ValueError(f"{prefix}dict keys differ: {sorted(a)} vs {sorted(b)}")
+        for key in a:
+            assert_same_structure(a[key], b[key], context)
+        return
+    if is_sequence(a) != is_sequence(b):
+        raise ValueError(f"{prefix}structure mismatch: {a!r} vs {b!r}")
+    if is_sequence(a):
+        if len(a) != len(b):
+            raise ValueError(
+                f"{prefix}sequence lengths differ: {len(a)} vs {len(b)}"
+            )
+        if _is_namedtuple(a) != _is_namedtuple(b):
+            raise ValueError(f"{prefix}namedtuple mismatch: {a!r} vs {b!r}")
+        for item_a, item_b in zip(a, b):
+            assert_same_structure(item_a, item_b, context)
+
+
+def map_structure(fn, *structures):
+    """Apply ``fn`` leaf-wise across parallel structures."""
+    if not structures:
+        raise ValueError("map_structure requires at least one structure")
+    first = structures[0]
+    for other in structures[1:]:
+        assert_same_structure(first, other, "map_structure")
+    flats = [flatten(s) for s in structures]
+    mapped = [fn(*leaves) for leaves in zip(*flats)]
+    return pack_sequence_as(first, mapped)

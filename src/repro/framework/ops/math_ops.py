@@ -1,0 +1,123 @@
+"""Public math ops (mode-agnostic)."""
+
+from __future__ import annotations
+
+from . import dispatch
+
+__all__ = [
+    "add", "subtract", "multiply", "divide", "floordiv", "mod", "pow",
+    "maximum", "minimum", "negative", "abs", "exp", "log", "tanh",
+    "sigmoid", "sqrt", "square", "sign", "floor",
+    "greater", "greater_equal", "less", "less_equal", "equal", "not_equal",
+    "logical_and", "logical_or", "logical_not",
+    "matmul", "tensordot",
+    "reduce_sum", "reduce_mean", "reduce_max", "reduce_min", "reduce_prod",
+    "reduce_all", "reduce_any", "argmax", "argmin", "top_k",
+    "cast",
+]
+
+
+def _binary(op_type):
+    def fn(x, y, name=None):
+        return dispatch.run_op(op_type, [x, y], {}, name=name)
+
+    fn.__name__ = op_type.lower()
+    fn.__doc__ = f"Elementwise broadcasting {op_type}."
+    return fn
+
+
+add = _binary("Add")
+subtract = _binary("Sub")
+multiply = _binary("Mul")
+divide = _binary("Div")
+floordiv = _binary("FloorDiv")
+mod = _binary("Mod")
+pow = _binary("Pow")
+maximum = _binary("Maximum")
+minimum = _binary("Minimum")
+greater = _binary("Greater")
+greater_equal = _binary("GreaterEqual")
+less = _binary("Less")
+less_equal = _binary("LessEqual")
+equal = _binary("Equal")
+not_equal = _binary("NotEqual")
+logical_and = _binary("LogicalAnd")
+logical_or = _binary("LogicalOr")
+
+
+def _unary(op_type):
+    def fn(x, name=None):
+        return dispatch.run_op(op_type, [x], {}, name=name)
+
+    fn.__name__ = op_type.lower()
+    fn.__doc__ = f"Elementwise {op_type}."
+    return fn
+
+
+negative = _unary("Neg")
+abs = _unary("Abs")
+exp = _unary("Exp")
+log = _unary("Log")
+tanh = _unary("Tanh")
+sigmoid = _unary("Sigmoid")
+sqrt = _unary("Sqrt")
+square = _unary("Square")
+sign = _unary("Sign")
+floor = _unary("Floor")
+logical_not = _unary("LogicalNot")
+
+
+def matmul(a, b, transpose_a=False, transpose_b=False, name=None):
+    """Matrix product of two rank-2 (or batched) tensors."""
+    return dispatch.run_op(
+        "MatMul", [a, b],
+        {"transpose_a": transpose_a, "transpose_b": transpose_b},
+        name=name,
+    )
+
+
+def tensordot(a, b, axes=1, name=None):
+    """Generalized tensor contraction along ``axes``."""
+    return dispatch.run_op("Tensordot", [a, b], {"axes": axes}, name=name)
+
+
+def _reduction(op_type, public_name):
+    def fn(x, axis=None, keepdims=False, name=None):
+        return dispatch.run_op(op_type, [x], {"axis": axis, "keepdims": keepdims},
+                               name=name)
+
+    fn.__name__ = public_name
+    fn.__doc__ = f"Reduce ``x`` with {op_type} over ``axis`` (all axes if None)."
+    return fn
+
+
+reduce_sum = _reduction("Sum", "reduce_sum")
+reduce_mean = _reduction("Mean", "reduce_mean")
+reduce_max = _reduction("Max", "reduce_max")
+reduce_min = _reduction("Min", "reduce_min")
+reduce_prod = _reduction("Prod", "reduce_prod")
+reduce_all = _reduction("All", "reduce_all")
+reduce_any = _reduction("Any", "reduce_any")
+
+
+def argmax(x, axis=0, name=None):
+    """Index of the maximum along ``axis`` (int64)."""
+    return dispatch.run_op("ArgMax", [x], {"axis": axis}, name=name)
+
+
+def argmin(x, axis=0, name=None):
+    """Index of the minimum along ``axis`` (int64)."""
+    return dispatch.run_op("ArgMin", [x], {"axis": axis}, name=name)
+
+
+def top_k(x, k, name=None):
+    """Top ``k`` values and indices along the last axis (descending)."""
+    return dispatch.run_op("TopK", [x, k], {}, name=name)
+
+
+def cast(x, dtype, name=None):
+    """Cast ``x`` to ``dtype``."""
+    from .. import dtypes
+
+    return dispatch.run_op("Cast", [x], {"dtype": dtypes.as_dtype(dtype).name},
+                           name=name)

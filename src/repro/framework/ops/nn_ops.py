@@ -1,0 +1,45 @@
+"""Public neural-network ops (mode-agnostic)."""
+
+from __future__ import annotations
+
+from . import dispatch
+
+__all__ = [
+    "relu", "softmax", "log_softmax",
+    "softmax_cross_entropy_with_logits",
+    "sparse_softmax_cross_entropy_with_logits",
+    "embedding_lookup",
+]
+
+
+def relu(x, name=None):
+    """Rectified linear unit: ``max(x, 0)``."""
+    return dispatch.run_op("Relu", [x], {}, name=name)
+
+
+def softmax(x, axis=-1, name=None):
+    """Softmax along ``axis`` (numerically stabilized)."""
+    return dispatch.run_op("Softmax", [x], {"axis": axis}, name=name)
+
+
+def log_softmax(x, axis=-1, name=None):
+    """Log-softmax along ``axis``."""
+    return dispatch.run_op("LogSoftmax", [x], {"axis": axis}, name=name)
+
+
+def softmax_cross_entropy_with_logits(labels, logits, name=None):
+    """Per-example cross entropy between one-hot ``labels`` and ``logits``."""
+    return dispatch.run_op("SoftmaxCrossEntropyWithLogits", [labels, logits], {},
+                           name=name)
+
+
+def sparse_softmax_cross_entropy_with_logits(labels, logits, name=None):
+    """Per-example cross entropy with integer class ``labels``."""
+    return dispatch.run_op(
+        "SparseSoftmaxCrossEntropyWithLogits", [labels, logits], {}, name=name
+    )
+
+
+def embedding_lookup(params, ids, name=None):
+    """Gather embedding rows for integer ``ids``."""
+    return dispatch.run_op("Gather", [params, ids], {"axis": 0}, name=name)

@@ -1,0 +1,40 @@
+"""Public random ops (stateful; seeded via :func:`set_seed`)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import dtypes as dtypes_mod
+from ..kernels import set_global_seed
+from . import dispatch
+
+__all__ = ["set_seed", "random_normal", "random_uniform"]
+
+
+def set_seed(seed):
+    """Seed the framework RNG (affects eager and graph random ops alike)."""
+    set_global_seed(seed)
+
+
+def _shape_input(shape):
+    if isinstance(shape, (list, tuple)):
+        return np.asarray(shape, dtype=np.int32)
+    return shape
+
+
+def random_normal(shape, mean=0.0, stddev=1.0, dtype=dtypes_mod.float32, name=None):
+    """Gaussian samples of the given shape."""
+    return dispatch.run_op(
+        "RandomNormal", [_shape_input(shape)],
+        {"mean": mean, "stddev": stddev, "dtype": dtypes_mod.as_dtype(dtype).name},
+        name=name,
+    )
+
+
+def random_uniform(shape, minval=0.0, maxval=1.0, dtype=dtypes_mod.float32, name=None):
+    """Uniform samples of the given shape."""
+    return dispatch.run_op(
+        "RandomUniform", [_shape_input(shape)],
+        {"minval": minval, "maxval": maxval, "dtype": dtypes_mod.as_dtype(dtype).name},
+        name=name,
+    )

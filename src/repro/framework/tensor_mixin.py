@@ -1,0 +1,100 @@
+"""Operator-overloading mixin shared by eager and symbolic tensors.
+
+This is the classic "operator overloading" facility the paper's Section 4
+describes: ``a + b`` builds/executes an ``Add`` op.  Both tensor kinds get
+identical overloads, so user code is mode-agnostic.  Note that — exactly as
+the paper points out — this technique cannot reach control flow (``if``,
+``while``, ``for``), which is why AutoGraph exists.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TensorOpsMixin"]
+
+
+def _ops():
+    # Late import: the public ops package imports tensor classes.
+    from repro.framework import ops
+
+    return ops
+
+
+class TensorOpsMixin:
+    """Arithmetic/comparison operator overloads shared by tensor types."""
+
+    # Make numpy defer to our reflected overloads (a np.ndarray + Tensor
+    # would otherwise broadcast element-wise into an object array).
+    __array_priority__ = 100
+
+    def __add__(self, other):
+        return _ops().add(self, other)
+
+    def __radd__(self, other):
+        return _ops().add(other, self)
+
+    def __sub__(self, other):
+        return _ops().subtract(self, other)
+
+    def __rsub__(self, other):
+        return _ops().subtract(other, self)
+
+    def __mul__(self, other):
+        return _ops().multiply(self, other)
+
+    def __rmul__(self, other):
+        return _ops().multiply(other, self)
+
+    def __truediv__(self, other):
+        return _ops().divide(self, other)
+
+    def __rtruediv__(self, other):
+        return _ops().divide(other, self)
+
+    def __floordiv__(self, other):
+        return _ops().floordiv(self, other)
+
+    def __rfloordiv__(self, other):
+        return _ops().floordiv(other, self)
+
+    def __mod__(self, other):
+        return _ops().mod(self, other)
+
+    def __rmod__(self, other):
+        return _ops().mod(other, self)
+
+    def __pow__(self, other):
+        return _ops().pow(self, other)
+
+    def __rpow__(self, other):
+        return _ops().pow(other, self)
+
+    def __neg__(self):
+        return _ops().negative(self)
+
+    def __abs__(self):
+        return _ops().abs(self)
+
+    def __matmul__(self, other):
+        return _ops().matmul(self, other)
+
+    def __rmatmul__(self, other):
+        return _ops().matmul(other, self)
+
+    # Comparisons.  Like TF, ``==`` is *not* overloaded on symbolic tensors
+    # (it stays identity-based so tensors remain hashable and usable in
+    # sets/dicts); AutoGraph's logical_expressions pass routes ``==`` to
+    # ``ag__.eq`` instead — see Section 7.2 of the paper.
+    def __gt__(self, other):
+        return _ops().greater(self, other)
+
+    def __ge__(self, other):
+        return _ops().greater_equal(self, other)
+
+    def __lt__(self, other):
+        return _ops().less(self, other)
+
+    def __le__(self, other):
+        return _ops().less_equal(self, other)
+
+    def __getitem__(self, key):
+        return _ops().get_item(self, key)

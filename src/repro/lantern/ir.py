@@ -1,0 +1,356 @@
+"""The Lantern IR: SSA blocks of numeric instructions with staged values.
+
+Tracing converted Python produces :class:`Block` objects containing
+instructions; :mod:`repro.lantern.compiler` lowers a :class:`Program`
+to executable code (the stand-in for Lantern's generated C++).
+
+Instruction forms (tuples, first element is the tag):
+  ("op", out, op_name, args)            -- numeric primitive
+  ("const", out, value)                 -- literal (stored in const pool)
+  ("param", out, name)                  -- model parameter reference
+  ("field", out, obj, field_name)       -- runtime-data field access (trees)
+  ("call", outs, fn_name, args)         -- staged function call (recursion!)
+  ("if", outs, cond, then_block, else_block)
+where ``out(s)``/``args`` are symbol-name strings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .sexpr import Sym, format_sexpr
+
+__all__ = [
+    "Param",
+    "StagedValue",
+    "StagedTensor",
+    "StagedBool",
+    "StagedTree",
+    "Block",
+    "FunctionDef",
+    "Program",
+    "Builder",
+    "OPS",
+]
+
+# Supported numeric primitives and their arities.
+OPS = {
+    "add": 2,
+    "sub": 2,
+    "mul": 2,
+    "div": 2,
+    "neg": 1,
+    "tanh": 1,
+    "sigmoid": 1,
+    "relu": 1,
+    "exp": 1,
+    "log": 1,
+    "matmul": 2,
+    "concat1": 2,   # concat along axis 1
+    "sum": 1,
+    "xent": 2,      # sparse softmax cross entropy: (logits, label) -> scalar
+}
+
+
+class Param:
+    """A trainable model parameter (numpy storage + gradient slot)."""
+
+    __slots__ = ("name", "value", "grad")
+
+    def __init__(self, name, value):
+        self.name = name
+        self.value = np.asarray(value, dtype=np.float32)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self):
+        self.grad[...] = 0.0
+
+    def __array__(self, dtype=None):
+        return self.value if dtype is None else self.value.astype(dtype)
+
+    def __repr__(self):
+        return f"Param({self.name!r}, shape={self.value.shape})"
+
+
+class StagedValue:
+    """Base class for values flowing through tracing."""
+
+    __slots__ = ("sym", "builder")
+
+    def __init__(self, sym, builder):
+        self.sym = sym
+        self.builder = builder
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.sym}>"
+
+    def __bool__(self):
+        raise TypeError(
+            f"Staged Lantern value {self.sym} has no Python truth value; "
+            "use AutoGraph conversion so control flow stages into the IR."
+        )
+
+
+class StagedTensor(StagedValue):
+    """A staged numeric value (scalar, row vector or matrix)."""
+
+    __slots__ = ()
+
+    def _emit_binary(self, op, other, reverse=False):
+        other = self.builder.as_staged(other)
+        a, b = (other, self) if reverse else (self, other)
+        return self.builder.emit(op, a, b)
+
+    def __add__(self, other):
+        return self._emit_binary("add", other)
+
+    def __radd__(self, other):
+        return self._emit_binary("add", other, reverse=True)
+
+    def __sub__(self, other):
+        return self._emit_binary("sub", other)
+
+    def __rsub__(self, other):
+        return self._emit_binary("sub", other, reverse=True)
+
+    def __mul__(self, other):
+        return self._emit_binary("mul", other)
+
+    def __rmul__(self, other):
+        return self._emit_binary("mul", other, reverse=True)
+
+    def __truediv__(self, other):
+        return self._emit_binary("div", other)
+
+    def __rtruediv__(self, other):
+        return self._emit_binary("div", other, reverse=True)
+
+    def __neg__(self):
+        return self.builder.emit("neg", self)
+
+    def __matmul__(self, other):
+        return self._emit_binary("matmul", other)
+
+
+class StagedBool(StagedValue):
+    """A staged boolean (e.g. ``tree.is_empty``)."""
+
+    __slots__ = ()
+
+
+_TREE_FIELD_KINDS = {
+    "left": "tree",
+    "right": "tree",
+    "is_leaf": "bool",
+    "is_empty": "bool",
+    "value": "tensor",
+    "embedding": "tensor",
+    "label": "tensor",
+}
+
+
+class StagedTree(StagedValue):
+    """Staged runtime tree data (paper §8: Lantern handles recursive
+    data structures the TF graph IR cannot)."""
+
+    __slots__ = ()
+
+    def __getattr__(self, name):
+        kind = _TREE_FIELD_KINDS.get(name)
+        if kind is None:
+            raise AttributeError(
+                f"Staged trees expose {sorted(_TREE_FIELD_KINDS)}, not {name!r}"
+            )
+        return self.builder.emit_field(self, name, kind)
+
+
+class Block:
+    """A straight-line (plus nested ifs) sequence of instructions."""
+
+    __slots__ = ("instructions", "result_syms")
+
+    def __init__(self):
+        self.instructions = []
+        self.result_syms = ()
+
+    def to_sexpr(self):
+        body = [_instr_to_sexpr(i) for i in self.instructions]
+        return (Sym("block"), *body, (Sym("result"), *map(Sym, self.result_syms)))
+
+
+def _instr_to_sexpr(instr):
+    tag = instr[0]
+    if tag == "op":
+        _, out, op_name, args = instr
+        return (Sym("let"), Sym(out), (Sym(op_name), *map(Sym, args)))
+    if tag == "const":
+        _, out, value = instr
+        rendered = float(value) if np.isscalar(value) else Sym(f"<array{np.shape(value)}>")
+        return (Sym("let"), Sym(out), (Sym("const"), rendered))
+    if tag == "param":
+        _, out, name = instr
+        return (Sym("let"), Sym(out), (Sym("param"), name))
+    if tag == "field":
+        _, out, obj, field = instr
+        return (Sym("let"), Sym(out), (Sym("field"), Sym(obj), Sym(field)))
+    if tag == "call":
+        _, outs, fn_name, args = instr
+        return (
+            Sym("let"), (Sym("values"), *map(Sym, outs)),
+            (Sym("call"), Sym(fn_name), *map(Sym, args)),
+        )
+    if tag == "if":
+        _, outs, cond, then_block, else_block = instr
+        return (
+            Sym("let"), (Sym("values"), *map(Sym, outs)),
+            (Sym("if"), Sym(cond), then_block.to_sexpr(), else_block.to_sexpr()),
+        )
+    raise ValueError(f"Unknown instruction {instr!r}")
+
+
+class FunctionDef:
+    """A staged function: parameters, body block, output arity."""
+
+    __slots__ = ("name", "param_syms", "param_kinds", "block", "n_outputs")
+
+    def __init__(self, name, param_syms, param_kinds, n_outputs):
+        self.name = name
+        self.param_syms = param_syms
+        self.param_kinds = param_kinds
+        self.block = Block()
+        self.n_outputs = n_outputs
+
+    def to_sexpr(self):
+        return (
+            Sym("def"), Sym(self.name),
+            tuple(Sym(p) for p in self.param_syms),
+            self.block.to_sexpr(),
+        )
+
+
+class Program:
+    """A set of staged functions plus the constant pool."""
+
+    def __init__(self):
+        self.functions = {}
+        self.consts = {}
+
+    def to_sexpr(self):
+        return (Sym("program"), *[f.to_sexpr() for f in self.functions.values()])
+
+    def to_string(self):
+        return format_sexpr(self.to_sexpr())
+
+
+class Builder:
+    """Emits instructions into a stack of blocks during tracing."""
+
+    def __init__(self, program):
+        self.program = program
+        self._counter = 0
+        self._block_stack = []
+
+    # -- symbols -----------------------------------------------------------
+
+    def fresh(self, prefix="x"):
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    @property
+    def current_block(self):
+        if not self._block_stack:
+            raise RuntimeError("No active Lantern block (not tracing)")
+        return self._block_stack[-1]
+
+    def push_block(self, block):
+        self._block_stack.append(block)
+
+    def pop_block(self):
+        return self._block_stack.pop()
+
+    # -- staged value creation ------------------------------------------------
+
+    def as_staged(self, value):
+        if isinstance(value, StagedValue):
+            return value
+        if isinstance(value, Param):
+            return self.emit_param(value)
+        if isinstance(value, (int, float, np.ndarray, np.generic)):
+            return self.emit_const(value)
+        raise TypeError(f"Cannot stage value of type {type(value).__name__}")
+
+    def emit(self, op_name, *args):
+        if op_name not in OPS:
+            raise ValueError(f"Unknown Lantern op {op_name!r}")
+        arg_vals = [self.as_staged(a) for a in args]
+        out = self.fresh()
+        self.current_block.instructions.append(
+            ("op", out, op_name, [a.sym for a in arg_vals])
+        )
+        return StagedTensor(out, self)
+
+    def emit_const(self, value):
+        out = self.fresh("c")
+        self.program.consts[out] = np.asarray(value, dtype=np.float32) \
+            if not np.isscalar(value) else value
+        self.current_block.instructions.append(("const", out, value))
+        return StagedTensor(out, self)
+
+    def emit_param(self, param):
+        out = self.fresh("p")
+        self.current_block.instructions.append(("param", out, param.name))
+        return StagedTensor(out, self)
+
+    def emit_field(self, obj, field, kind):
+        out = self.fresh("f")
+        self.current_block.instructions.append(("field", out, obj.sym, field))
+        if kind == "tree":
+            return StagedTree(out, self)
+        if kind == "bool":
+            return StagedBool(out, self)
+        return StagedTensor(out, self)
+
+    def emit_call(self, fn_name, args, n_outputs):
+        arg_vals = [a if isinstance(a, StagedValue) else self.as_staged(a)
+                    for a in args]
+        outs = [self.fresh("r") for _ in range(n_outputs)]
+        self.current_block.instructions.append(
+            ("call", outs, fn_name, [a.sym for a in arg_vals])
+        )
+        results = tuple(StagedTensor(o, self) for o in outs)
+        return results[0] if n_outputs == 1 else results
+
+    def emit_if(self, cond, then_fn, else_fn, n_outputs):
+        """Trace both branches into sub-blocks; returns output tensors."""
+        then_block = Block()
+        self.push_block(then_block)
+        try:
+            then_vals = _as_value_tuple(self, then_fn())
+            then_block.result_syms = tuple(v.sym for v in then_vals)
+        finally:
+            self.pop_block()
+        else_block = Block()
+        self.push_block(else_block)
+        try:
+            else_vals = _as_value_tuple(self, else_fn())
+            else_block.result_syms = tuple(v.sym for v in else_vals)
+        finally:
+            self.pop_block()
+
+        if len(then_block.result_syms) != len(else_block.result_syms):
+            raise ValueError(
+                "Staged Lantern conditional branches must produce the same "
+                f"number of values ({len(then_block.result_syms)} vs "
+                f"{len(else_block.result_syms)})"
+            )
+        outs = [self.fresh("v") for _ in range(len(then_block.result_syms))]
+        self.current_block.instructions.append(
+            ("if", outs, cond.sym, then_block, else_block)
+        )
+        return tuple(StagedTensor(o, self) for o in outs)
+
+
+def _as_value_tuple(builder, values):
+    if not isinstance(values, tuple):
+        values = (values,)
+    return tuple(builder.as_staged(v) for v in values)

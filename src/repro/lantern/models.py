@@ -1,0 +1,155 @@
+"""Models staged through AutoGraph → Lantern (paper §8 and §9.1).
+
+- ``tree_prod``: the paper's end-to-end recursion example (§8), staged to
+  the S-expression IR and compiled with CPS gradients.
+- TreeLSTM sentiment classifier (§9.1, Table 3): the same mathematics as
+  :class:`repro.nn.TreeLSTMClassifier`, written imperatively with
+  recursion, converted by AutoGraph and staged into Lantern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import ops as lt
+from .compiler import compile_program
+from .ir import Param
+from .staging import Stager
+
+__all__ = [
+    "tree_prod",
+    "stage_tree_prod",
+    "build_treelstm_lantern",
+    "LanternTreeLSTM",
+]
+
+
+def tree_prod(base, tree):
+    """The paper's recursive example: product of tree values (§8)."""
+    if not tree.is_empty:
+        l = tree_prod(base, tree.left)
+        r = tree_prod(base, tree.right)
+        return l * r * tree.value
+    else:
+        return base
+
+
+def stage_tree_prod(with_grad=True):
+    """Stage & compile ``tree_prod``; returns (compiled, program, stager)."""
+    stager = Stager()
+    with stager.active():
+        stager.def_staged(tree_prod, ["tensor", "tree"], n_outputs=1)
+    compiled = compile_program(stager.program, params={}, with_grad=with_grad)
+    return compiled, stager.program, stager
+
+
+# ---------------------------------------------------------------------------
+# TreeLSTM (Table 3)
+# ---------------------------------------------------------------------------
+
+
+class LanternTreeLSTM:
+    """AutoGraph→Lantern TreeLSTM sentiment model.
+
+    Shares parameter *values* with an ``repro.nn.TreeLSTMCell`` params
+    dict, so the define-by-run comparator and this staged model compute
+    identical numbers.
+    """
+
+    def __init__(self, hidden_dim, num_classes=5, params_np=None, rng=None):
+        rng = rng or np.random.default_rng(0)
+        from repro.nn.layers import glorot_init
+
+        if params_np is None:
+            d2 = 2 * hidden_dim
+            params_np = {
+                "w_i": glorot_init(rng, (d2, hidden_dim)),
+                "w_fl": glorot_init(rng, (d2, hidden_dim)),
+                "w_fr": glorot_init(rng, (d2, hidden_dim)),
+                "w_o": glorot_init(rng, (d2, hidden_dim)),
+                "w_g": glorot_init(rng, (d2, hidden_dim)),
+                "b_i": np.zeros((1, hidden_dim), np.float32),
+                "b_f": np.ones((1, hidden_dim), np.float32),
+                "b_o": np.zeros((1, hidden_dim), np.float32),
+                "b_g": np.zeros((1, hidden_dim), np.float32),
+                "w_out": glorot_init(rng, (hidden_dim, num_classes)),
+                "b_out": np.zeros((1, num_classes), np.float32),
+            }
+        else:
+            params_np = {
+                k: (v.reshape(1, -1) if v.ndim == 1 else v)
+                for k, v in params_np.items()
+            }
+        self.hidden_dim = hidden_dim
+        self.num_classes = num_classes
+        self.params = {k: Param(k, v) for k, v in params_np.items()}
+        self.compiled = None
+        self.program = None
+
+    # -- the imperative model (converted by AutoGraph) -------------------------
+
+    def _make_functions(self):
+        p = self.params
+
+        def embed(tree):
+            if tree.is_leaf:
+                c = lt.tanh(tree.embedding)
+                h = lt.tanh(c)
+            else:
+                c_l, h_l = embed(tree.left)
+                c_r, h_r = embed(tree.right)
+                x = lt.concat1(h_l, h_r)
+                i = lt.sigmoid(lt.matmul(x, p["w_i"]) + p["b_i"])
+                fl = lt.sigmoid(lt.matmul(x, p["w_fl"]) + p["b_f"])
+                fr = lt.sigmoid(lt.matmul(x, p["w_fr"]) + p["b_f"])
+                o = lt.sigmoid(lt.matmul(x, p["w_o"]) + p["b_o"])
+                g = lt.tanh(lt.matmul(x, p["w_g"]) + p["b_g"])
+                c = i * g + fl * c_l + fr * c_r
+                h = o * lt.tanh(c)
+            return c, h
+
+        def tree_loss(tree, label):
+            c, h = embed(tree)
+            logits = lt.matmul(h, p["w_out"]) + p["b_out"]
+            return lt.xent(logits, label)
+
+        return embed, tree_loss
+
+    # -- staging -----------------------------------------------------------------
+
+    def compile(self, with_grad=True):
+        """AutoGraph-convert, stage to the IR and compile.  One-time cost."""
+        embed, tree_loss = self._make_functions()
+        stager = Stager()
+        with stager.active():
+            stager.def_staged(embed, ["tree"], n_outputs=2)
+            stager.def_staged(tree_loss, ["tree", "tensor"], n_outputs=1)
+        self.program = stager.program
+        self.compiled = compile_program(
+            self.program, params=self.params, with_grad=with_grad
+        )
+        return self.compiled
+
+    # -- training ----------------------------------------------------------------
+
+    def loss(self, tree):
+        if self.compiled is None:
+            self.compile()
+        return float(np.asarray(self.compiled.run("tree_loss", tree, tree.label)))
+
+    def train_step(self, tree, learning_rate=0.05):
+        """One SGD step on a single tree; returns the loss."""
+        if self.compiled is None:
+            self.compile()
+        self.compiled.zero_grads()
+        loss = self.compiled.run_with_grad("tree_loss", tree, tree.label)
+        grads = self.compiled.grads()
+        values = self.compiled.namespace["_P"]
+        for name, grad in grads.items():
+            values[name] -= learning_rate * grad
+        return float(np.asarray(loss))
+
+    def eager_reference_loss(self, tree):
+        """Unstaged NumPy evaluation of the same model (for tests)."""
+        embed, tree_loss = self._make_functions()
+        return float(tree_loss(tree, tree.label))

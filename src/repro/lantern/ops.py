@@ -1,0 +1,105 @@
+"""User-facing Lantern math functions.
+
+Dual-mode like the framework ops: on staged values they emit IR
+instructions; on NumPy values they compute immediately (used by tests to
+check staged-vs-eager equivalence, and by the define-by-run comparator).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ir import Param, StagedTensor, StagedValue
+
+__all__ = ["tanh", "sigmoid", "relu", "exp", "log", "matmul", "concat1",
+           "sum_", "xent", "numpy_kernels"]
+
+
+def _np_sigmoid(x):
+    out = np.empty_like(x, dtype=np.float32)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def _np_xent(logits, label):
+    logits = np.asarray(logits)
+    shifted = logits - logits.max()
+    log_probs = shifted - np.log(np.exp(shifted).sum())
+    return -float(log_probs.reshape(-1)[int(label)])
+
+
+numpy_kernels = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a / b,
+    "neg": lambda a: -a,
+    "tanh": np.tanh,
+    "sigmoid": lambda a: _np_sigmoid(np.asarray(a, dtype=np.float32)),
+    "relu": lambda a: np.maximum(a, 0.0),
+    "exp": np.exp,
+    "log": np.log,
+    "matmul": lambda a, b: a @ b,
+    "concat1": lambda a, b: np.concatenate((a, b), axis=1),
+    "sum": lambda a: np.sum(a),
+    "xent": _np_xent,
+}
+
+
+def _unwrap(value):
+    if isinstance(value, Param):
+        return value.value
+    return value
+
+
+def _dispatch(op, *args):
+    staged = next((a for a in args if isinstance(a, StagedValue)), None)
+    if staged is not None:
+        return staged.builder.emit(op, *args)
+    return numpy_kernels[op](*[_unwrap(a) for a in args])
+
+
+def tanh(x):
+    """Elementwise tanh (staged or immediate)."""
+    return _dispatch("tanh", x)
+
+
+def sigmoid(x):
+    """Elementwise logistic (staged or immediate)."""
+    return _dispatch("sigmoid", x)
+
+
+def relu(x):
+    """Elementwise relu (staged or immediate)."""
+    return _dispatch("relu", x)
+
+
+def exp(x):
+    return _dispatch("exp", x)
+
+
+def log(x):
+    return _dispatch("log", x)
+
+
+def matmul(a, b):
+    """Matrix (or row-vector) product."""
+    return _dispatch("matmul", a, b)
+
+
+def concat1(a, b):
+    """Concatenate two row vectors along axis 1."""
+    return _dispatch("concat1", a, b)
+
+
+def sum_(a):
+    """Sum to a scalar."""
+    return _dispatch("sum", a)
+
+
+def xent(logits, label):
+    """Sparse softmax cross-entropy of a [1, C] logits row vs int label."""
+    return _dispatch("xent", logits, label)

@@ -1,0 +1,123 @@
+"""S-expressions: the textual form of the Lantern IR (paper §8).
+
+The Lantern back-end "converts Lisp-like S-expressions describing numeric
+operations into efficient C++ code".  Our IR (:mod:`repro.lantern.ir`)
+serializes to this form; the compiler consumes the IR directly, with the
+S-expression text serving as the inspectable interchange format the paper
+describes (Python → S-Expr → compiled code).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Sym", "format_sexpr", "parse_sexpr"]
+
+
+class Sym:
+    """An interned symbol."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = str(name)
+
+    def __repr__(self):
+        return self.name
+
+    def __eq__(self, other):
+        if isinstance(other, Sym):
+            return self.name == other.name
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(("Sym", self.name))
+
+
+def format_sexpr(expr, indent=0):
+    """Render a nested tuple/list structure as an S-expression string."""
+    if isinstance(expr, (tuple, list)):
+        parts = [format_sexpr(e) for e in expr]
+        flat = "(" + " ".join(parts) + ")"
+        if len(flat) <= 80 or indent > 6:
+            return flat
+        pad = "\n" + "  " * (indent + 1)
+        return "(" + pad.join(format_sexpr(e, indent + 1) for e in expr) + ")"
+    if isinstance(expr, Sym):
+        return expr.name
+    if isinstance(expr, str):
+        return '"' + expr.replace('"', '\\"') + '"'
+    if isinstance(expr, float):
+        return repr(expr)
+    return str(expr)
+
+
+def parse_sexpr(text):
+    """Parse an S-expression string into nested tuples of Sym/num/str."""
+    tokens = _tokenize(text)
+    pos = [0]
+
+    def parse():
+        if pos[0] >= len(tokens):
+            raise ValueError("Unexpected end of S-expression")
+        token = tokens[pos[0]]
+        pos[0] += 1
+        if token == "(":
+            items = []
+            while pos[0] < len(tokens) and tokens[pos[0]] != ")":
+                items.append(parse())
+            if pos[0] >= len(tokens):
+                raise ValueError("Unbalanced parentheses")
+            pos[0] += 1  # consume ')'
+            return tuple(items)
+        if token == ")":
+            raise ValueError("Unexpected ')'")
+        return _atom(token)
+
+    result = parse()
+    if pos[0] != len(tokens):
+        raise ValueError("Trailing tokens after S-expression")
+    return result
+
+
+def _tokenize(text):
+    tokens = []
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if c.isspace():
+            i += 1
+        elif c in "()":
+            tokens.append(c)
+            i += 1
+        elif c == '"':
+            j = i + 1
+            buf = []
+            while j < len(text) and text[j] != '"':
+                if text[j] == "\\" and j + 1 < len(text):
+                    buf.append(text[j + 1])
+                    j += 2
+                else:
+                    buf.append(text[j])
+                    j += 1
+            tokens.append('"' + "".join(buf))
+            i = j + 1
+        else:
+            j = i
+            while j < len(text) and not text[j].isspace() and text[j] not in "()":
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+def _atom(token):
+    if token.startswith('"'):
+        return token[1:]
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return Sym(token)

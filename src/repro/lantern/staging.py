@@ -1,0 +1,176 @@
+"""Staging functions into the Lantern IR: ``__def_staged``/``__call_staged``.
+
+The paper's §8: to support recursive models, function *definition* and
+*call* become staged operations.  :class:`Stager` traces an
+AutoGraph-converted function once with staged arguments; recursive calls
+are intercepted (via the converted_call hook) and emitted as IR call
+instructions instead of being re-traced — which is what terminates the
+trace of a recursive function.
+
+The Stager is also the AutoGraph *backend* object (registered with
+``operators.dispatch``): staged booleans route ``if`` statements into
+``emit_if``, demonstrating the backend-agnostic SCT front-end.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.autograph.operators import dispatch as ag_dispatch
+
+from .ir import Builder, FunctionDef, Program, StagedBool, StagedTensor, StagedTree, StagedValue
+
+__all__ = ["Stager", "NOT_INTERCEPTED"]
+
+# The sentinel must be the dispatch module's own: converted_call compares
+# interceptor results against it by identity.
+NOT_INTERCEPTED = ag_dispatch.NOT_INTERCEPTED
+
+
+class Stager:
+    """Builds a Lantern :class:`Program` by tracing converted functions."""
+
+    def __init__(self):
+        self.program = Program()
+        self.builder = Builder(self.program)
+        # original python function -> FunctionDef (for recursion).
+        self._staged_functions = {}
+        self._active = False
+
+    # ------------------------------------------------------------------
+    # AutoGraph backend protocol
+    # ------------------------------------------------------------------
+
+    def matches(self, value):
+        return isinstance(value, StagedValue) and value.builder is self.builder
+
+    def if_stmt(self, cond, body, orelse, symbol_names):
+        results = self.builder.emit_if(cond, body, orelse, len(symbol_names))
+        return results
+
+    def while_stmt(self, test, body, init_state, symbol_names, opts):
+        raise NotImplementedError(
+            "The Lantern backend stages loops as recursion; rewrite the loop "
+            "as a recursive function (its distinguishing capability, §8)."
+        )
+
+    def for_stmt(self, iter_, extra_test, body, init_state, symbol_names, opts):
+        raise NotImplementedError(
+            "The Lantern backend stages loops as recursion; rewrite the loop "
+            "as a recursive function (its distinguishing capability, §8)."
+        )
+
+    def not_(self, value):
+        # Staged boolean negation: model as 1 - b via a dedicated emit; we
+        # reuse the 'sub' op on the boolean symbol (compiler lowers bools
+        # to Python bools, where (not b) is emitted directly).
+        out = self.builder.fresh("nb")
+        self.builder.current_block.instructions.append(
+            ("op", out, "not", [value.sym])
+        )
+        return StagedBool(out, self.builder)
+
+    def intercept_call(self, f, args, kwargs):
+        """converted_call hook: emit IR calls for staged functions."""
+        if not self._active or kwargs:
+            return NOT_INTERCEPTED
+        target = getattr(f, "__wrapped_original__", None) or getattr(
+            f, "__ag_original__", None
+        ) or f
+        fdef = self._staged_functions.get(target)
+        if fdef is None:
+            return NOT_INTERCEPTED
+        if not any(isinstance(a, StagedValue) for a in args):
+            return NOT_INTERCEPTED
+        return self.builder.emit_call(fdef.name, list(args), fdef.n_outputs)
+
+    # ------------------------------------------------------------------
+    # Staged definition (paper's __def_staged / __call_staged)
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def active(self):
+        """Activate the backend: registers dispatch + call interception."""
+        ag_dispatch.register_backend(self)
+        ag_dispatch.register_call_interceptor(self.intercept_call)
+        self._active = True
+        try:
+            yield self
+        finally:
+            self._active = False
+            ag_dispatch.unregister_call_interceptor(self.intercept_call)
+            ag_dispatch.unregister_backend(self)
+
+    def staged_arg(self, kind, name):
+        """A staged function parameter of the given kind."""
+        sym = self.builder.fresh(name)
+        if kind == "tree":
+            return StagedTree(sym, self.builder)
+        if kind == "bool":
+            return StagedBool(sym, self.builder)
+        return StagedTensor(sym, self.builder)
+
+    def def_staged(self, fn, arg_kinds, n_outputs=1, name=None):
+        """Stage ``fn`` (to be AutoGraph-converted) into the program.
+
+        Args:
+          fn: the original Python function (it will be converted and traced).
+          arg_kinds: list of 'tensor' | 'tree' | 'bool' parameter kinds.
+          n_outputs: number of values the function returns.
+          name: IR function name (defaults to fn's name).
+
+        Returns:
+          The FunctionDef.  Recursive calls inside ``fn`` (and calls from
+          later-staged functions) emit IR ``call`` instructions.
+        """
+        import repro.autograph as ag
+
+        target = getattr(fn, "__ag_original__", None) or fn
+        if target in self._staged_functions:
+            return self._staged_functions[target]
+
+        fn_name = name or target.__name__
+        params = [self.staged_arg(kind, f"a_{fn_name}_") for kind in arg_kinds]
+        fdef = FunctionDef(
+            fn_name, [p.sym for p in params], list(arg_kinds), n_outputs
+        )
+        # Register *before* tracing so recursive calls are intercepted.
+        self._staged_functions[target] = fdef
+        self.program.functions[fn_name] = fdef
+
+        converted = ag.to_graph(target)
+        self.builder.push_block(fdef.block)
+        try:
+            result = converted(*params)
+        finally:
+            self.builder.pop_block()
+        if not isinstance(result, tuple):
+            result = (result,)
+        if len(result) != n_outputs:
+            raise ValueError(
+                f"{fn_name} declared {n_outputs} outputs but returned "
+                f"{len(result)}"
+            )
+        staged_results = [self.builder.as_staged(_enter_block(self, fdef, r))
+                          for r in result]
+        fdef.block.result_syms = tuple(v.sym for v in staged_results)
+        return fdef
+
+    def call_staged(self, fn, *args):
+        """Emit a call to a previously staged function (``__call_staged``)."""
+        target = getattr(fn, "__ag_original__", None) or fn
+        fdef = self._staged_functions.get(target)
+        if fdef is None:
+            raise KeyError(f"{fn!r} has not been staged with def_staged")
+        return self.builder.emit_call(fdef.name, list(args), fdef.n_outputs)
+
+
+def _enter_block(stager, fdef, value):
+    """Coerce return leaves; constants must be emitted inside the block."""
+    if isinstance(value, StagedValue):
+        return value
+    stager.builder.push_block(fdef.block)
+    try:
+        return stager.builder.as_staged(value)
+    finally:
+        stager.builder.pop_block()

@@ -1,0 +1,22 @@
+"""Neural-network layers used by the paper's evaluation.
+
+All layers are written against the mode-agnostic public ops, so the same
+layer object runs eagerly (define-by-run) and stages into graphs.
+"""
+
+from .cells import BasicRNNCell, LSTMCell
+from .layers import Dense, MLP
+from .optimizers import SGD
+from .rnn import dynamic_rnn
+from .treelstm import TreeLSTMCell, TreeLSTMClassifier
+
+__all__ = [
+    "Dense",
+    "MLP",
+    "BasicRNNCell",
+    "LSTMCell",
+    "dynamic_rnn",
+    "SGD",
+    "TreeLSTMCell",
+    "TreeLSTMClassifier",
+]

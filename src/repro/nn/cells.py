@@ -1,0 +1,88 @@
+"""Recurrent cells (paper §9, RNN cells experiment).
+
+Cells follow the TF RNNCell contract: ``cell(x_t, state) -> (output,
+new_state)``.  They are written against the public ops, so the same cell
+instance drives the eager, hand-written-graph and AutoGraph variants of
+``dynamic_rnn``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework import Variable, ops
+
+from .layers import glorot_init
+
+__all__ = ["BasicRNNCell", "LSTMCell"]
+
+
+class BasicRNNCell:
+    """Vanilla tanh RNN: ``h' = tanh([x, h] @ W + b)``."""
+
+    def __init__(self, num_units, input_dim, rng=None, name="rnn_cell"):
+        rng = rng or np.random.default_rng(0)
+        self.num_units = num_units
+        self.w = Variable(
+            glorot_init(rng, (input_dim + num_units, num_units)),
+            name=f"{name}_w",
+        )
+        self.b = Variable(np.zeros((num_units,), np.float32), name=f"{name}_b")
+
+    @property
+    def variables(self):
+        return [self.w, self.b]
+
+    def zero_state(self, batch_size):
+        return ops.constant(
+            np.zeros((batch_size, self.num_units), np.float32)
+        )
+
+    def __call__(self, x, state):
+        concat = ops.concat([x, state], axis=1)
+        new_state = ops.tanh(ops.add(ops.matmul(concat, self.w), self.b))
+        return new_state, new_state
+
+
+class LSTMCell:
+    """A standard LSTM cell with a fused gate matrix.
+
+    State is a tuple ``(c, h)``.
+    """
+
+    def __init__(self, num_units, input_dim, forget_bias=1.0, rng=None,
+                 name="lstm_cell"):
+        rng = rng or np.random.default_rng(0)
+        self.num_units = num_units
+        self.forget_bias = forget_bias
+        self.w = Variable(
+            glorot_init(rng, (input_dim + num_units, 4 * num_units)),
+            name=f"{name}_w",
+        )
+        self.b = Variable(np.zeros((4 * num_units,), np.float32), name=f"{name}_b")
+
+    @property
+    def variables(self):
+        return [self.w, self.b]
+
+    def zero_state(self, batch_size):
+        zeros = np.zeros((batch_size, self.num_units), np.float32)
+        return (ops.constant(zeros), ops.constant(zeros))
+
+    def __call__(self, x, state):
+        c, h = state
+        concat = ops.concat([x, h], axis=1)
+        gates = ops.add(ops.matmul(concat, self.w), self.b)
+        n = self.num_units
+        i = ops.sigmoid(ops.get_item(gates, (slice(None), slice(0, n))))
+        f = ops.sigmoid(
+            ops.add(
+                ops.get_item(gates, (slice(None), slice(n, 2 * n))),
+                self.forget_bias,
+            )
+        )
+        g = ops.tanh(ops.get_item(gates, (slice(None), slice(2 * n, 3 * n))))
+        o = ops.sigmoid(ops.get_item(gates, (slice(None), slice(3 * n, 4 * n))))
+        new_c = ops.add(ops.multiply(f, c), ops.multiply(i, g))
+        new_h = ops.multiply(o, ops.tanh(new_c))
+        return new_h, (new_c, new_h)

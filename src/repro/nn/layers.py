@@ -1,0 +1,72 @@
+"""Dense and MLP layers (mode-agnostic)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework import Variable, ops
+
+__all__ = ["Dense", "MLP", "glorot_init"]
+
+
+def glorot_init(rng, shape):
+    """Glorot-uniform initialization."""
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+class Dense:
+    """A fully-connected layer: ``activation(x @ W + b)``.
+
+    Weights live in framework Variables so the same layer instance works
+    eagerly and in graphs.  For purely functional use (in-graph training
+    loops that thread weights as loop variables), call
+    :meth:`apply_with_params`.
+    """
+
+    def __init__(self, in_dim, out_dim, activation=None, rng=None, name="dense"):
+        rng = rng or np.random.default_rng(0)
+        self.w = Variable(glorot_init(rng, (in_dim, out_dim)), name=f"{name}_w")
+        self.b = Variable(np.zeros((out_dim,), np.float32), name=f"{name}_b")
+        self.activation = activation
+
+    @property
+    def variables(self):
+        return [self.w, self.b]
+
+    def __call__(self, x):
+        return self.apply_with_params(x, self.w.value(), self.b.value())
+
+    def apply_with_params(self, x, w, b):
+        out = ops.add(ops.matmul(x, w), b)
+        if self.activation is not None:
+            out = self.activation(out)
+        return out
+
+
+class MLP:
+    """A stack of Dense layers with a configurable hidden activation."""
+
+    def __init__(self, dims, activation=ops.tanh, rng=None, name="mlp"):
+        if len(dims) < 2:
+            raise ValueError("MLP requires at least input and output dims")
+        rng = rng or np.random.default_rng(0)
+        self.layers = []
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            act = activation if i < len(dims) - 2 else None
+            self.layers.append(
+                Dense(d_in, d_out, activation=act, rng=rng, name=f"{name}_{i}")
+            )
+
+    @property
+    def variables(self):
+        out = []
+        for layer in self.layers:
+            out.extend(layer.variables)
+        return out
+
+    def __call__(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x

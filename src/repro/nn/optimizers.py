@@ -1,0 +1,34 @@
+"""Optimizers (SGD is all the paper's evaluation needs)."""
+
+from __future__ import annotations
+
+from repro.framework import ops
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """Plain stochastic gradient descent."""
+
+    def __init__(self, learning_rate=0.1):
+        self.learning_rate = learning_rate
+
+    def apply_gradients(self, grads_and_vars):
+        """Apply updates to Variables; returns the list of update outputs
+        (fetch them, or a group of them, to run the step in graph mode)."""
+        updates = []
+        for grad, var in grads_and_vars:
+            if grad is None:
+                continue
+            updates.append(
+                var.assign_sub(ops.multiply(grad, self.learning_rate))
+            )
+        return updates
+
+    def functional_step(self, params, grads):
+        """Pure update: returns new parameter tensors (for in-graph loops
+        that thread weights as loop variables)."""
+        return [
+            p if g is None else ops.subtract(p, ops.multiply(g, self.learning_rate))
+            for p, g in zip(params, grads)
+        ]

@@ -1,0 +1,96 @@
+"""Library dynamic RNN — the "Official" implementation of Table 1.
+
+Mirrors ``tf.dynamic_rnn``: a while_loop over time steps writing outputs
+to a TensorArray, with per-step masking of finished sequences.  In eager
+mode it unrolls the same computation as a Python loop (what TF Eager's
+dynamic_rnn effectively does per step).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework import TensorArray, context, float32, nest, ops
+
+__all__ = ["dynamic_rnn"]
+
+
+def _mask_state(mask, new_state, prev_state):
+    return nest.map_structure(
+        lambda n, p: ops.where(mask, n, p), new_state, prev_state
+    )
+
+
+def dynamic_rnn(cell, input_data, initial_state, sequence_length=None):
+    """Run ``cell`` over ``input_data`` (batch-major: [batch, time, dim]).
+
+    Args:
+      cell: callable(x_t, state) -> (output, new_state).
+      input_data: [batch, time, input_dim] tensor.
+      initial_state: cell state structure.
+      sequence_length: optional [batch] int tensor; steps past a sequence's
+        length keep its previous state (masked update), matching
+        ``tf.dynamic_rnn``.
+
+    Returns:
+      (outputs, final_state) with outputs [batch, time, units].
+    """
+    # Time-major for the loop.
+    inputs = ops.transpose(input_data, (1, 0, 2))
+
+    if context.has_default_graph():
+        return _graph_dynamic_rnn(cell, inputs, initial_state, sequence_length)
+    return _eager_dynamic_rnn(cell, inputs, initial_state, sequence_length)
+
+
+def _graph_dynamic_rnn(cell, inputs, initial_state, sequence_length):
+    outputs_ta = TensorArray(float32, size=0, dynamic_size=True)
+    if sequence_length is None:
+        max_len = ops.get_item(ops.shape(inputs), 0)
+    else:
+        max_len = ops.reduce_max(sequence_length)
+
+    state_flat = nest.flatten(initial_state)
+    n_state = len(state_flat)
+
+    def while_cond(i, outputs, *state):
+        return ops.less(i, max_len)
+
+    def while_body(i, outputs, *state):
+        state = nest.pack_sequence_as(initial_state, list(state))
+        x_t = ops.get_item(inputs, i)
+        output, new_state = cell(x_t, state)
+        if sequence_length is not None:
+            mask = ops.less(i, sequence_length)
+            new_state = _mask_state(mask, new_state, state)
+            output = ops.where(mask, output, ops.zeros_like(output))
+        outputs = outputs.write(i, output)
+        return (ops.add(i, ops.constant(1, dtype="int32")), outputs) + tuple(
+            nest.flatten(new_state)
+        )
+
+    loop_vars = (ops.constant(0, dtype="int32"), outputs_ta) + tuple(state_flat)
+    results = ops.while_loop(while_cond, while_body, loop_vars)
+    final_outputs = results[1].stack()
+    final_state = nest.pack_sequence_as(initial_state, list(results[2:]))
+    final_outputs = ops.transpose(final_outputs, (1, 0, 2))
+    return final_outputs, final_state
+
+
+def _eager_dynamic_rnn(cell, inputs, initial_state, sequence_length):
+    max_len = int(inputs.shape[0])
+    if sequence_length is not None:
+        max_len = int(np.max(np.asarray(sequence_length)))
+    state = initial_state
+    outputs = []
+    for i in range(max_len):
+        x_t = ops.get_item(inputs, i)
+        output, new_state = cell(x_t, state)
+        if sequence_length is not None:
+            mask = ops.less(ops.constant(i, dtype="int32"), sequence_length)
+            new_state = _mask_state(mask, new_state, state)
+            output = ops.where(mask, output, ops.zeros_like(output))
+        state = new_state
+        outputs.append(output)
+    stacked = ops.stack(outputs, axis=0)
+    return ops.transpose(stacked, (1, 0, 2)), state

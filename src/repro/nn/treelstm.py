@@ -1,0 +1,124 @@
+"""Binary TreeLSTM for sentiment classification (paper §9.1, Table 3).
+
+The model embeds a sentence parse tree bottom-up: leaves carry word
+embeddings; internal nodes combine the left/right child states with a
+binary (two-input) LSTM core; the root hidden state feeds an MLP that
+predicts sentiment.
+
+This module provides the define-by-run implementation (the paper's
+"PyTorch" comparator): plain Python recursion over the tree with eager
+tensors and tape autodiff.  The AutoGraph→Lantern implementation stages
+the *same mathematics* through the Lantern backend
+(:mod:`repro.lantern.models`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework import Variable, ops
+
+from .layers import glorot_init
+
+__all__ = ["TreeLSTMCell", "TreeLSTMClassifier"]
+
+
+class TreeLSTMCell:
+    """Binary TreeLSTM combiner.
+
+    For children states ``(c_l, h_l)`` and ``(c_r, h_r)``:
+
+      x  = [h_l, h_r]
+      i  = sigmoid(x @ W_i + b_i)
+      fl = sigmoid(x @ W_fl + b_f)      # per-child forget gates
+      fr = sigmoid(x @ W_fr + b_f)
+      o  = sigmoid(x @ W_o + b_o)
+      g  = tanh(x @ W_g + b_g)
+      c  = i * g + fl * c_l + fr * c_r
+      h  = o * tanh(c)
+
+    Leaves use the word embedding as ``g`` with unit input gate.
+    """
+
+    def __init__(self, hidden_dim, rng=None, name="treelstm"):
+        rng = rng or np.random.default_rng(0)
+        self.hidden_dim = hidden_dim
+        d2 = 2 * hidden_dim
+        self.params_np = {
+            "w_i": glorot_init(rng, (d2, hidden_dim)),
+            "w_fl": glorot_init(rng, (d2, hidden_dim)),
+            "w_fr": glorot_init(rng, (d2, hidden_dim)),
+            "w_o": glorot_init(rng, (d2, hidden_dim)),
+            "w_g": glorot_init(rng, (d2, hidden_dim)),
+            "b_i": np.zeros((hidden_dim,), np.float32),
+            "b_f": np.ones((hidden_dim,), np.float32),
+            "b_o": np.zeros((hidden_dim,), np.float32),
+            "b_g": np.zeros((hidden_dim,), np.float32),
+        }
+        self.variables_map = {
+            k: Variable(v, name=f"{name}_{k}") for k, v in self.params_np.items()
+        }
+
+    @property
+    def variables(self):
+        return list(self.variables_map.values())
+
+    def leaf_state(self, embedding):
+        """State for a leaf node carrying a word ``embedding`` [1, d]."""
+        c = ops.tanh(embedding)
+        h = ops.tanh(c)
+        return c, h
+
+    def combine(self, left_state, right_state):
+        """Combine two child states into the parent state."""
+        p = self.variables_map
+        c_l, h_l = left_state
+        c_r, h_r = right_state
+        x = ops.concat([h_l, h_r], axis=1)
+        i = ops.sigmoid(ops.add(ops.matmul(x, p["w_i"].value()), p["b_i"].value()))
+        fl = ops.sigmoid(ops.add(ops.matmul(x, p["w_fl"].value()), p["b_f"].value()))
+        fr = ops.sigmoid(ops.add(ops.matmul(x, p["w_fr"].value()), p["b_f"].value()))
+        o = ops.sigmoid(ops.add(ops.matmul(x, p["w_o"].value()), p["b_o"].value()))
+        g = ops.tanh(ops.add(ops.matmul(x, p["w_g"].value()), p["b_g"].value()))
+        c = ops.add(
+            ops.multiply(i, g),
+            ops.add(ops.multiply(fl, c_l), ops.multiply(fr, c_r)),
+        )
+        h = ops.multiply(o, ops.tanh(c))
+        return c, h
+
+
+class TreeLSTMClassifier:
+    """TreeLSTM encoder + MLP sentiment head (define-by-run)."""
+
+    def __init__(self, hidden_dim, num_classes=5, rng=None):
+        rng = rng or np.random.default_rng(0)
+        self.cell = TreeLSTMCell(hidden_dim, rng=rng)
+        self.w_out = Variable(
+            glorot_init(rng, (hidden_dim, num_classes)), name="treelstm_out_w"
+        )
+        self.b_out = Variable(
+            np.zeros((num_classes,), np.float32), name="treelstm_out_b"
+        )
+
+    @property
+    def variables(self):
+        return self.cell.variables + [self.w_out, self.b_out]
+
+    def embed(self, tree):
+        """Recursively embed a parse tree; returns the root (c, h)."""
+        if tree.is_leaf:
+            return self.cell.leaf_state(ops.constant(tree.embedding))
+        left = self.embed(tree.left)
+        right = self.embed(tree.right)
+        return self.cell.combine(left, right)
+
+    def logits(self, tree):
+        _, h = self.embed(tree)
+        return ops.add(ops.matmul(h, self.w_out.value()), self.b_out.value())
+
+    def loss(self, tree):
+        logits = self.logits(tree)
+        labels = ops.constant(np.asarray([tree.label], np.int64))
+        losses = ops.sparse_softmax_cross_entropy_with_logits(labels, logits)
+        return ops.reduce_mean(losses)

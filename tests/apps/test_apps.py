@@ -1,0 +1,177 @@
+"""Integration tests: the Appendix D application workloads.
+
+Each app must produce identical results eager vs AutoGraph-staged — the
+benchmarks then measure only a *performance* difference, never a
+semantic one.
+"""
+
+import numpy as np
+import pytest
+
+import repro.autograph as ag
+from repro import framework as fw
+from repro.apps import beam_search as bs
+from repro.apps import lbfgs, maml, seq2seq
+from repro.framework import ops
+
+
+class TestBeamSearch:
+    def _run_eager(self, model, beam, max_len):
+        return bs.beam_search(
+            ops.constant(model.embeddings), ops.constant(model.w_xh),
+            ops.constant(model.w_hh), ops.constant(model.w_out),
+            beam, max_len, model.vocab_size,
+        )
+
+    def _run_staged(self, model, beam, max_len):
+        converted = ag.to_graph(bs.beam_search)
+        g = fw.Graph()
+        with g.as_default():
+            outs = converted(
+                ops.constant(model.embeddings), ops.constant(model.w_xh),
+                ops.constant(model.w_hh), ops.constant(model.w_out),
+                beam, max_len, model.vocab_size,
+            )
+        return fw.Session(g).run(outs)
+
+    def test_eager_staged_identical(self):
+        model = bs.make_model(vocab_size=20, hidden_dim=8, seed=1)
+        se, te, le = self._run_eager(model, 3, 12)
+        ss, ts, ls = self._run_staged(model, 3, 12)
+        assert np.allclose(np.asarray(se), ss, atol=1e-5)
+        assert np.array_equal(np.asarray(te), ts)
+        assert int(le) == int(ls)
+
+    def test_scores_monotone_decreasing(self):
+        model = bs.make_model(vocab_size=20, hidden_dim=8, seed=2)
+        scores, _, _ = self._run_eager(model, 4, 10)
+        s = np.asarray(scores)
+        assert np.all(np.diff(s) <= 1e-6)  # top_k returns descending
+        assert np.all(s <= 0)  # log-probs accumulate
+
+    def test_early_exit_possible(self):
+        # Heavy EOS bias: decode must stop before max_len.
+        model = bs.make_model(vocab_size=10, hidden_dim=8, seed=3)
+        model.w_out[:, 0] += 50.0
+        _, tokens, length = self._run_eager(model, 2, 30)
+        assert int(length) < 30
+        assert np.all(np.asarray(tokens) == 0)
+
+
+class TestLBFGS:
+    def test_solves_quadratic(self):
+        a, b, x0 = lbfgs.make_problem(batch_size=4, dim=8, seed=0)
+        x, iters, gnorm = lbfgs.lbfgs_minimize(
+            ops.constant(a), ops.constant(b), ops.constant(x0),
+            m=5, max_iter=60)
+        residual = np.einsum("bij,bj->bi", a, np.asarray(x)) - b
+        assert np.max(np.abs(residual)) < 1e-2
+
+    def test_tolerance_early_exit(self):
+        a, b, x0 = lbfgs.make_problem(batch_size=2, dim=4, seed=1)
+        _, iters, gnorm = lbfgs.lbfgs_minimize(
+            ops.constant(a), ops.constant(b), ops.constant(x0),
+            m=5, max_iter=500, tol=1e-4)
+        assert int(iters) < 500
+        assert float(np.asarray(gnorm)) <= 1e-4 * 10
+
+    def test_eager_staged_identical(self):
+        a, b, x0 = lbfgs.make_problem(batch_size=3, dim=6, seed=2)
+        xe, ie, ge = lbfgs.lbfgs_minimize(
+            ops.constant(a), ops.constant(b), ops.constant(x0),
+            m=4, max_iter=20)
+        converted = ag.to_graph(lbfgs.lbfgs_minimize)
+        g = fw.Graph()
+        with g.as_default():
+            outs = converted(ops.constant(a), ops.constant(b),
+                             ops.constant(x0), m=4, max_iter=20)
+        xs, its, gs = fw.Session(g).run(outs)
+        assert np.allclose(np.asarray(xe), xs, atol=1e-4)
+        assert int(ie) == int(its)
+
+
+class TestMAML:
+    def test_eager_and_staged_steps_agree(self):
+        rng = np.random.default_rng(0)
+        params = maml.init_params(hidden=8, seed=0)
+        xs, ys = maml.sample_task(rng)
+        xq, yq = maml.sample_task(rng)
+
+        eager_params, eager_loss = maml.maml_step_eager(
+            ops.constant(xs), ops.constant(ys), ops.constant(xq),
+            ops.constant(yq), [ops.constant(p) for p in params])
+
+        g = fw.Graph()
+        with g.as_default():
+            staged_params, staged_loss = maml.maml_step_staged(
+                ops.constant(xs), ops.constant(ys), ops.constant(xq),
+                ops.constant(yq), [ops.constant(p) for p in params])
+        staged_vals = fw.Session(g).run(tuple(staged_params) + (staged_loss,))
+        assert np.isclose(float(eager_loss), float(staged_vals[-1]), atol=1e-4)
+        for e, s in zip(eager_params, staged_vals[:-1]):
+            assert np.allclose(np.asarray(e), s, atol=1e-4)
+
+    def test_staged_through_autograph(self):
+        rng = np.random.default_rng(1)
+        params = maml.init_params(hidden=8, seed=0)
+        xs, ys = maml.sample_task(rng)
+        xq, yq = maml.sample_task(rng)
+        converted = ag.to_graph(maml.maml_step_staged)
+        g = fw.Graph()
+        with g.as_default():
+            new_params, loss = converted(
+                ops.constant(xs), ops.constant(ys), ops.constant(xq),
+                ops.constant(yq), [ops.constant(p) for p in params])
+        out = fw.Session(g).run(loss)
+        assert np.isfinite(out)
+
+    def test_inner_adaptation_helps(self):
+        """The inner SGD step reduces support loss on the same task."""
+        rng = np.random.default_rng(2)
+        params = [ops.constant(p) for p in maml.init_params(hidden=16, seed=0)]
+        xs, ys = maml.sample_task(rng)
+        loss_before = float(maml.mse(maml.forward(params, ops.constant(xs)),
+                                     ops.constant(ys)))
+        adapted, _ = maml.maml_step_eager(
+            ops.constant(xs), ops.constant(ys), ops.constant(xs),
+            ops.constant(ys), params, inner_lr=0.01, outer_lr=0.01,
+            inner_steps=3)
+        loss_after = float(maml.mse(maml.forward(adapted, ops.constant(xs)),
+                                    ops.constant(ys)))
+        assert loss_after < loss_before
+
+
+class TestSeq2Seq:
+    def _loss(self, teacher_forcing, staged):
+        model = seq2seq.Seq2SeqModel(20, 8, seed=0)
+        src = np.array([[1, 2, 3, 4]] * 2, np.int64)
+        dst = np.array([[5, 6, 7, 8]] * 2, np.int64)
+        weights = (model.embed_enc, model.embed_dec, model.enc_w,
+                   model.dec_w, model.out_w)
+        if not staged:
+            return float(seq2seq.seq2seq_loss(
+                *[ops.constant(w) for w in weights],
+                ops.constant(src), ops.constant(dst),
+                teacher_forcing=teacher_forcing))
+        converted = ag.to_graph(seq2seq.seq2seq_loss)
+        g = fw.Graph()
+        with g.as_default():
+            loss = converted(
+                *[ops.constant(w) for w in weights],
+                ops.constant(src), ops.constant(dst),
+                teacher_forcing=teacher_forcing)
+        return float(fw.Session(g).run(loss))
+
+    @pytest.mark.parametrize("teacher_forcing", [True, False])
+    def test_eager_staged_identical(self, teacher_forcing):
+        assert np.isclose(self._loss(teacher_forcing, staged=False),
+                          self._loss(teacher_forcing, staged=True),
+                          atol=1e-5)
+
+    def test_modes_differ(self):
+        # Teacher forcing vs argmax feeding are different computations.
+        assert self._loss(True, False) != pytest.approx(self._loss(False, False))
+
+    def test_loss_near_uniform_for_random_model(self):
+        loss = self._loss(True, False)
+        assert abs(loss - np.log(20)) < 1.0

@@ -1,0 +1,346 @@
+"""Unit tests: the dynamic-dispatch operator library (§6)."""
+
+import numpy as np
+import pytest
+
+from repro import framework as fw
+from repro.autograph import operators as ag__
+from repro.framework import ops
+from repro.framework.errors import StagingError
+
+
+def _run_graph(build):
+    g = fw.Graph()
+    with g.as_default():
+        out = build()
+    return fw.Session(g).run(out)
+
+
+class TestIfStmt:
+    def test_python_true(self):
+        (x,) = ag__.if_stmt(True, lambda: (1,), lambda: (2,), ("x",))
+        assert x == 1
+
+    def test_python_false(self):
+        (x,) = ag__.if_stmt(False, lambda: (1,), lambda: (2,), ("x",))
+        assert x == 2
+
+    def test_eager_tensor_cond_runs_python(self):
+        """Eager tensors keep Python semantics (define-by-run)."""
+        (x,) = ag__.if_stmt(ops.constant(True), lambda: (1,), lambda: (2,), ("x",))
+        assert x == 1  # plain python int, no staging happened
+
+    def test_symbolic_cond_stages(self):
+        def build():
+            p = ops.constant(True)
+            (x,) = ag__.if_stmt(p, lambda: (ops.constant(1.0),),
+                                lambda: (ops.constant(2.0),), ("x",))
+            return x
+
+        assert _run_graph(build) == 1.0
+
+    def test_undefined_in_staged_branch_raises(self):
+        from repro.autograph.operators.variables import Undefined
+
+        def build():
+            p = ops.constant(True)
+            return ag__.if_stmt(
+                p,
+                lambda: (ops.constant(1.0),),
+                lambda: (Undefined("y"),),
+                ("y",),
+            )
+
+        g = fw.Graph()
+        with g.as_default():
+            with pytest.raises(StagingError, match="y"):
+                build()
+
+    def test_if_exp(self):
+        assert ag__.if_exp(True, lambda: 1, lambda: 2) == 1
+        assert ag__.if_exp(False, lambda: 1, lambda: 2) == 2
+
+    def test_if_exp_staged(self):
+        def build():
+            return ag__.if_exp(ops.constant(False),
+                               lambda: ops.constant(1.0),
+                               lambda: ops.constant(2.0))
+
+        assert _run_graph(build) == 2.0
+
+
+class TestWhileStmt:
+    def test_python_loop(self):
+        state = ag__.while_stmt(
+            lambda i: i < 5, lambda i: (i + 1,), (0,), ("i",))
+        assert state == (5,)
+
+    def test_staged_loop(self):
+        def build():
+            n = ops.constant(4)
+            (i,) = ag__.while_stmt(
+                lambda i: ops.less(i, n),
+                lambda i: (ops.add(i, 1),),
+                (ops.constant(0),),
+                ("i",),
+            )
+            return i
+
+        assert _run_graph(build) == 4
+
+    def test_tensor_condition_with_python_state_stages(self):
+        """Paper App. E: 'condition closure is collection of Tensor-like'."""
+        def build():
+            n = ops.constant(3)
+            (i,) = ag__.while_stmt(
+                lambda i: ops.less(i, n), lambda i: (ops.add(i, 1),),
+                (0,), ("i",),
+            )
+            return i
+
+        assert _run_graph(build) == 3
+
+    def test_maximum_iterations_option(self):
+        def build():
+            (i,) = ag__.while_stmt(
+                lambda i: ops.constant(True),
+                lambda i: (ops.add(i, 1),),
+                (ops.constant(0),),
+                ("i",),
+                {"maximum_iterations": 5},
+            )
+            return i
+
+        assert _run_graph(build) == 5
+
+    def test_no_state_staged_loop_raises(self):
+        g = fw.Graph()
+        with g.as_default():
+            c = ops.constant(True)
+            with pytest.raises(StagingError, match="loop variable"):
+                ag__.while_stmt(lambda: c, lambda: (), (), ())
+
+
+class TestForStmt:
+    def test_python_iterable(self):
+        (total,) = ag__.for_stmt(
+            [1, 2, 3], None, lambda x, t: (t + x,), (0,), ("total",))
+        assert total == 6
+
+    def test_extra_test_stops(self):
+        (total,) = ag__.for_stmt(
+            [1, 2, 3, 4], lambda t: t < 3,
+            lambda x, t: (t + x,), (0,), ("total",))
+        assert total == 3
+
+    def test_symbolic_tensor_stages(self):
+        def build():
+            xs = ops.constant(np.array([1.0, 2.0, 3.0], np.float32))
+            (total,) = ag__.for_stmt(
+                xs, None,
+                lambda x, t: (ops.add(t, x),),
+                (ops.constant(0.0),), ("total",))
+            return total
+
+        assert _run_graph(build) == 6.0
+
+    def test_eager_tensor_iterates_directly(self):
+        xs = ops.constant(np.array([1.0, 2.0], np.float32))
+        (total,) = ag__.for_stmt(
+            xs, None, lambda x, t: (ops.add(t, x),),
+            (ops.constant(0.0),), ("total",))
+        assert float(total) == 3.0
+
+    def test_staged_with_extra_test(self):
+        def build():
+            xs = ops.constant(np.arange(10, dtype=np.float32))
+            def body(x, t):
+                return (ops.add(t, x),)
+            (total,) = ag__.for_stmt(
+                xs, lambda t: ops.less(t, 5.0), body,
+                (ops.constant(0.0),), ("total",))
+            return total
+
+        # 0+1+2+3 = 6 (test fails once t=6 >= 5... checks before each step)
+        assert _run_graph(build) == 6.0
+
+
+class TestLogicalOperators:
+    def test_and_lazy_python(self):
+        calls = []
+
+        def b():
+            calls.append(1)
+            return True
+
+        assert ag__.and_(lambda: False, b) is False
+        assert calls == []
+
+    def test_or_lazy_python(self):
+        assert ag__.or_(lambda: True, lambda: 1 / 0) is True
+
+    def test_and_staged(self):
+        def build():
+            a = ops.constant(True)
+            b = ops.constant(False)
+            return ag__.and_(lambda: a, lambda: b)
+
+        assert bool(_run_graph(build)) is False
+
+    def test_or_staged(self):
+        def build():
+            a = ops.constant(False)
+            b = ops.constant(True)
+            return ag__.or_(lambda: a, lambda: b)
+
+        assert bool(_run_graph(build)) is True
+
+    def test_not_python(self):
+        assert ag__.not_(True) is False
+
+    def test_not_tensor(self):
+        assert bool(ag__.not_(ops.constant(False))) is True
+
+    def test_eq_python(self):
+        assert ag__.eq(1, 1) is True
+        assert ag__.not_eq(1, 2) is True
+
+    def test_eq_tensor(self):
+        out = ag__.eq(ops.constant([1, 2]), ops.constant([1, 3]))
+        assert out.numpy().tolist() == [True, False]
+
+
+class TestDataStructures:
+    def test_new_list(self):
+        assert ag__.new_list() == []
+        assert ag__.new_list((1, 2)) == [1, 2]
+
+    def test_python_list_append_pop(self):
+        l = ag__.list_append([1], 2)
+        assert l == [1, 2]
+        l, v = ag__.list_pop(l)
+        assert v == 2 and l == [1]
+
+    def test_tensor_array_append_stack(self):
+        ta = ag__.new_list_of_type([], fw.float32)
+        ta = ag__.list_append(ta, ops.constant(1.0))
+        ta = ag__.list_append(ta, ops.constant(2.0))
+        assert np.asarray(ag__.list_stack(ta)).tolist() == [1.0, 2.0]
+
+    def test_new_list_of_type_preserves_existing(self):
+        ta = ag__.new_list_of_type([ops.constant(5.0)], fw.float32)
+        assert np.asarray(ag__.list_stack(ta)).tolist() == [5.0]
+
+    def test_tensor_array_pop(self):
+        ta = ag__.new_list_of_type([], fw.float32)
+        ta = ag__.list_append(ta, ops.constant(1.0))
+        ta = ag__.list_append(ta, ops.constant(2.0))
+        ta, v = ag__.list_pop(ta)
+        assert float(np.asarray(v)) == 2.0
+        assert int(np.asarray(ta.size())) == 1
+
+    def test_stack_python_list_of_tensors(self):
+        out = ag__.list_stack([ops.constant([1.0]), ops.constant([2.0])])
+        assert np.asarray(out).tolist() == [[1.0], [2.0]]
+
+
+class TestPyBuiltins:
+    def test_len_python(self):
+        assert ag__.len_([1, 2, 3]) == 3
+
+    def test_len_eager(self):
+        assert ag__.len_(ops.constant([[1], [2]])) == 2
+
+    def test_len_symbolic_static(self):
+        g = fw.Graph()
+        with g.as_default():
+            x = ops.placeholder(fw.float32, [7, 3])
+            assert ag__.len_(x) == 7
+
+    def test_len_symbolic_dynamic(self):
+        g = fw.Graph()
+        with g.as_default():
+            x = ops.placeholder(fw.float32, [None, 3])
+            out = ag__.len_(x)
+        got = fw.Session(g).run(out, {x: np.zeros((4, 3), np.float32)})
+        assert got == 4
+
+    def test_range_python(self):
+        assert list(ag__.range_(3)) == [0, 1, 2]
+        assert list(ag__.range_(1, 4)) == [1, 2, 3]
+        assert list(ag__.range_(0, 6, 2)) == [0, 2, 4]
+
+    def test_range_tensor(self):
+        out = ag__.range_(ops.constant(4))
+        assert np.asarray(out).tolist() == [0, 1, 2, 3]
+
+    def test_int_float_casts(self):
+        assert ag__.int_("12") == 12
+        assert ag__.int_(3.7) == 3
+        t = ag__.int_(ops.constant(3.7))
+        assert int(np.asarray(t)) == 3
+        t = ag__.float_(ops.constant(2))
+        assert t.dtype is fw.float32
+
+    def test_abs(self):
+        assert ag__.abs_(-3) == 3
+        assert float(ag__.abs_(ops.constant(-3.0))) == 3.0
+
+    def test_overload_of_identity_for_unknown(self):
+        assert ag__.overload_of(sorted) is sorted
+
+
+class TestVariablesAndSlices:
+    def test_undefined_raises_on_use(self):
+        u = ag__.Undefined("foo")
+        with pytest.raises(UnboundLocalError, match="foo"):
+            bool(u)
+        with pytest.raises(UnboundLocalError):
+            u + 1
+        with pytest.raises(UnboundLocalError):
+            u.attr
+        with pytest.raises(UnboundLocalError):
+            u[0]
+
+    def test_ld(self):
+        assert ag__.ld(5) == 5
+        with pytest.raises(UnboundLocalError):
+            ag__.ld(ag__.Undefined("x"))
+
+    def test_get_set_item_tensor(self):
+        x = ops.constant(np.array([1.0, 2.0], np.float32))
+        assert float(ag__.get_item(x, 1)) == 2.0
+        y = ag__.set_item(x, 0, 9.0)
+        assert np.asarray(y).tolist() == [9.0, 2.0]
+        assert x.numpy().tolist() == [1.0, 2.0]
+
+    def test_get_set_item_python(self):
+        d = {"a": 1}
+        assert ag__.get_item(d, "a") == 1
+        d2 = ag__.set_item(d, "b", 2)
+        assert d2 is d and d["b"] == 2
+
+    def test_get_item_tensor_array(self):
+        ta = ag__.new_list_of_type([], fw.float32)
+        ta = ag__.list_append(ta, ops.constant(7.0))
+        assert float(np.asarray(ag__.get_item(ta, 0))) == 7.0
+
+
+class TestAssertStmt:
+    def test_python_pass_and_fail(self):
+        ag__.assert_stmt(lambda: True)
+        with pytest.raises(AssertionError, match="boom"):
+            ag__.assert_stmt(lambda: False, lambda: "boom")
+
+    def test_staged_assert_runs_at_graph_time(self):
+        g = fw.Graph()
+        with g.as_default():
+            p = ops.placeholder(fw.float32, [])
+            with ag__.FunctionScope("t") as fscope:
+                ag__.assert_stmt(lambda: ops.greater(p, 0.0),
+                                 lambda: "must be positive")
+                out = fscope.ret(ops.multiply(p, 2.0))
+        sess = fw.Session(g)
+        assert sess.run(out, {p: 2.0}) == 4.0
+        with pytest.raises(fw.ExecutionError, match="positive"):
+            sess.run(out, {p: -2.0})

@@ -1,0 +1,393 @@
+"""End-to-end reference tests (paper §10: "interactions between features
+are tested in end-to-end reference tests").
+
+Every program here is executed three ways and must agree:
+
+1. plain Python (ground truth);
+2. AutoGraph-converted, on plain Python values (semantics preservation —
+   the "macro-programming mode");
+3. AutoGraph-converted, staged into a graph on placeholder tensors and
+   run through a Session (when the program is tensor-compatible).
+"""
+
+import numpy as np
+import pytest
+
+import repro.autograph as ag
+from repro import framework as fw
+from repro.framework import ops
+
+
+def _staged_scalar(fn, inputs, dtypes_):
+    converted = ag.to_graph(fn)
+    g = fw.Graph()
+    with g.as_default():
+        phs = [ops.placeholder(dt, []) for dt in dtypes_]
+        out = converted(*phs)
+    return fw.Session(g).run(out, dict(zip(phs, inputs)))
+
+
+# ---------------------------------------------------------------------------
+# Programs
+# ---------------------------------------------------------------------------
+
+
+def prog_if_else(x):
+    if x > 0:
+        y = x * 2
+    else:
+        y = -x
+    return y
+
+
+def prog_if_no_else(x):
+    y = x
+    if x > 10:
+        y = x - 10
+    return y
+
+
+def prog_nested_if(x):
+    if x > 0:
+        if x > 100:
+            r = 3
+        else:
+            r = 2
+    else:
+        r = 1
+    return r
+
+
+def prog_while(n):
+    i = 0
+    total = 0
+    while i < n:
+        total = total + i
+        i = i + 1
+    return total
+
+
+def prog_while_break(n):
+    i = 0
+    while i < 100:
+        if i >= n:
+            break
+        i = i + 1
+    return i
+
+
+def prog_while_continue(n):
+    i = 0
+    total = 0
+    while i < n:
+        i = i + 1
+        if i % 2 == 0:
+            continue
+        total = total + i
+    return total
+
+
+def prog_early_return(x):
+    if x > 5:
+        return x * 10
+    return x
+
+
+def prog_return_in_loop(n):
+    i = 0
+    while i < 100:
+        if i * i >= n:
+            return i
+        i = i + 1
+    return -1
+
+
+def prog_multiple_returns(x):
+    if x > 10:
+        return 3
+    if x > 5:
+        return 2
+    if x > 0:
+        return 1
+    return 0
+
+
+def prog_logical(x):
+    if x > 0 and x < 10:
+        return 1
+    if x <= 0 or x >= 100:
+        return 2
+    return 3
+
+
+def prog_ternary(x):
+    return x * 2 if x > 0 else x * 3
+
+
+def prog_chained_state(a, b):
+    c = a + b
+    while c < 100:
+        c = c * 2
+        a = a + 1
+    return c + a
+
+
+def prog_for_range(n):
+    total = 0
+    for i in range(10):
+        total = total + i * n
+    return total
+
+
+def prog_not(x):
+    if not x > 0:
+        return -1
+    return 1
+
+
+SCALAR_PROGRAMS = [
+    (prog_if_else, [(3,), (-3,), (0,)], fw.int32),
+    (prog_if_no_else, [(5,), (50,)], fw.int32),
+    (prog_nested_if, [(-1,), (50,), (500,)], fw.int32),
+    (prog_while, [(0,), (5,), (10,)], fw.int32),
+    (prog_while_break, [(0,), (7,), (200,)], fw.int32),
+    (prog_while_continue, [(6,), (9,)], fw.int32),
+    (prog_early_return, [(3,), (30,)], fw.int32),
+    (prog_return_in_loop, [(17,), (0,)], fw.int32),
+    (prog_multiple_returns, [(-5,), (3,), (7,), (20,)], fw.int32),
+    (prog_logical, [(5,), (-1,), (50,)], fw.int32),
+    (prog_ternary, [(4,), (-4,)], fw.int32),
+    (prog_chained_state, [(1, 2), (50, 60)], fw.int32),
+    (prog_for_range, [(3,)], fw.int32),
+    (prog_not, [(1,), (-1,)], fw.int32),
+]
+
+
+@pytest.mark.parametrize(
+    "fn,input_sets,dtype", SCALAR_PROGRAMS,
+    ids=[p[0].__name__ for p in SCALAR_PROGRAMS],
+)
+def test_python_semantics_preserved(fn, input_sets, dtype):
+    converted = ag.to_graph(fn)
+    for inputs in input_sets:
+        assert converted(*inputs) == fn(*inputs), inputs
+
+
+@pytest.mark.parametrize(
+    "fn,input_sets,dtype", SCALAR_PROGRAMS,
+    ids=[p[0].__name__ for p in SCALAR_PROGRAMS],
+)
+def test_staged_matches_python(fn, input_sets, dtype):
+    for inputs in input_sets:
+        staged = _staged_scalar(fn, inputs, [dtype] * len(inputs))
+        assert int(np.asarray(staged)) == fn(*inputs), inputs
+
+
+# ---------------------------------------------------------------------------
+# Tensor-shaped programs
+# ---------------------------------------------------------------------------
+
+
+def prog_vector_accumulate(x):
+    total = ops.zeros_like(x)
+    i = 0
+    while i < 4:
+        total = total + x * float(i)
+        i = i + 1
+    return total
+
+
+def prog_list_stack(x):
+    outputs = []
+    ag.set_element_type(outputs, fw.float32)
+    for i in range(len(x)):
+        outputs.append(x[i] * 2.0)
+    return ag.stack(outputs)
+
+
+def prog_cumulative_max(x):
+    best = x[0]
+    results = []
+    ag.set_element_type(results, fw.float32)
+    for i in range(len(x)):
+        best = ops.maximum(best, x[i])
+        results.append(best)
+    return ag.stack(results)
+
+
+VECTOR_PROGRAMS = [prog_vector_accumulate, prog_list_stack, prog_cumulative_max]
+
+
+@pytest.mark.parametrize("fn", VECTOR_PROGRAMS, ids=[f.__name__ for f in VECTOR_PROGRAMS])
+def test_vector_program_staged_matches_eager(fn):
+    data = np.array([3.0, -1.0, 2.0, 5.0], np.float32)
+    converted = ag.to_graph(fn)
+    eager_out = np.asarray(converted(ops.constant(data)))
+
+    g = fw.Graph()
+    with g.as_default():
+        ph = ops.placeholder(fw.float32, [4])
+        out = converted(ph)
+    staged_out = fw.Session(g).run(out, {ph: data})
+    assert np.allclose(eager_out, staged_out)
+
+
+# ---------------------------------------------------------------------------
+# Hyperparameter ("macro") conditionals — paper §3's motivating example.
+# ---------------------------------------------------------------------------
+
+
+def prog_hyperparam(x, nonlin):
+    if nonlin == "relu":
+        x = ops.relu(x)
+    else:
+        x = ops.tanh(x)
+    return x
+
+
+def test_macro_conditional_not_staged():
+    """Conditionals on Python values execute at staging time: only the
+    selected branch's ops enter the graph (paper §3)."""
+    converted = ag.to_graph(prog_hyperparam)
+    g = fw.Graph()
+    with g.as_default():
+        ph = ops.placeholder(fw.float32, [2])
+        out = converted(ph, "relu")
+    op_types = {op.type for op in g.ops}
+    assert "Relu" in op_types
+    assert "Tanh" not in op_types
+    assert not any(op.type.startswith("Cond") for op in g.ops)
+    result = fw.Session(g).run(out, {ph: [-1.0, 1.0]})
+    assert result.tolist() == [0.0, 1.0]
+
+
+def test_data_dependent_conditional_is_staged():
+    """Conditionals on tensors become cond nodes (paper §3)."""
+
+    def prog(x):
+        if ops.reduce_sum(x) > 0:
+            x = x * x
+        return x
+
+    converted = ag.to_graph(prog)
+    g = fw.Graph()
+    with g.as_default():
+        ph = ops.placeholder(fw.float32, [2])
+        out = converted(ph)
+    assert any(op.type.startswith("Cond") for op in g.ops)
+    sess = fw.Session(g)
+    assert sess.run(out, {ph: [1.0, 2.0]}).tolist() == [1.0, 4.0]
+    assert sess.run(out, {ph: [-1.0, -2.0]}).tolist() == [-1.0, -2.0]
+
+
+# ---------------------------------------------------------------------------
+# Undefined-symbol semantics (paper §7.2, Control Flow).
+# ---------------------------------------------------------------------------
+
+
+def test_branch_undefined_symbol_python_mode():
+    def prog(c):
+        if c:
+            y = 1
+        return y  # noqa: F821 — intentionally conditional
+
+    converted = ag.to_graph(prog)
+    assert converted(True) == 1
+    with pytest.raises((UnboundLocalError, NameError)):
+        converted(False)
+
+
+def test_branch_undefined_symbol_staged_raises():
+    def prog(x):
+        if x > 0:
+            y = x
+        return y  # noqa: F821
+
+    converted = ag.to_graph(prog)
+    g = fw.Graph()
+    with g.as_default():
+        ph = ops.placeholder(fw.float32, [])
+        with pytest.raises(fw.StagingError, match="y"):
+            converted(ph)
+
+
+# ---------------------------------------------------------------------------
+# Recursion through converted_call.
+# ---------------------------------------------------------------------------
+
+
+def prog_factorial(n):
+    if n <= 1:
+        return 1
+    return n * prog_factorial(n - 1)
+
+
+def test_recursive_function_python_mode():
+    converted = ag.to_graph(prog_factorial)
+    assert converted(6) == 720
+
+
+# ---------------------------------------------------------------------------
+# Slices / assert / print under conversion.
+# ---------------------------------------------------------------------------
+
+
+def test_slice_write_value_semantics_on_tensor():
+    def prog(x):
+        x[0] = 99.0
+        return x
+
+    converted = ag.to_graph(prog)
+    data = ops.constant(np.array([1.0, 2.0], np.float32))
+    out = converted(data)
+    assert np.asarray(out).tolist() == [99.0, 2.0]
+    # Original tensor untouched (functional update).
+    assert data.numpy().tolist() == [1.0, 2.0]
+
+
+def test_slice_write_on_python_list_mutates():
+    def prog(l):
+        l[1] = 42
+        return l
+
+    converted = ag.to_graph(prog)
+    data = [0, 0, 0]
+    assert converted(data) == [0, 42, 0]
+
+
+def test_assert_python_mode():
+    def prog(x):
+        assert x > 0, "must be positive"
+        return x
+
+    converted = ag.to_graph(prog)
+    assert converted(5) == 5
+    with pytest.raises(AssertionError, match="positive"):
+        converted(-5)
+
+
+def test_staged_print_runs_at_graph_time(capsys):
+    def prog(x):
+        print("value is", x)
+        return x * 2.0
+
+    converted = ag.to_graph(prog)
+    g = fw.Graph()
+    with g.as_default():
+        ph = ops.placeholder(fw.float32, [])
+        out = converted(ph)
+    # Building the graph printed nothing.
+    assert "value is" not in capsys.readouterr().out
+    result = fw.Session(g).run(out, {ph: 21.0})
+    assert result == 42.0
+    assert "value is" in capsys.readouterr().out
+
+
+def test_print_python_mode(capsys):
+    def prog(x):
+        print("got", x)
+        return x
+
+    converted = ag.to_graph(prog)
+    converted(7)
+    assert "got 7" in capsys.readouterr().out

@@ -1,0 +1,278 @@
+"""Unit tests: CFG construction and the §7.1 dataflow analyses."""
+
+import ast
+
+from repro.autograph.pyct import anno, cfg, parser, qual_names
+from repro.autograph.pyct.static_analysis import (
+    activity,
+    liveness,
+    reaching_definitions,
+)
+
+
+def _analyzed(src):
+    node = parser.parse_str(src).body[0]
+    qual_names.resolve(node)
+    activity.resolve(node)
+    graphs = cfg.build_all(node)
+    reaching_definitions.resolve(node, graphs)
+    liveness.resolve(node, graphs)
+    return node
+
+
+class TestCFG:
+    def test_linear_chain(self):
+        fn = parser.parse_str("def f():\n    a = 1\n    b = 2\n").body[0]
+        graph = cfg.build(fn)
+        assert len(graph.index) == 2
+        # entry -> a -> b -> exit
+        first = graph.index[fn.body[0]]
+        second = graph.index[fn.body[1]]
+        assert second in first.next
+        assert graph.exit in second.next
+
+    def test_if_has_join(self):
+        fn = parser.parse_str(
+            "def f(c):\n    if c:\n        a = 1\n    else:\n        a = 2\n    return a\n"
+        ).body[0]
+        graph = cfg.build(fn)
+        if_stmt = fn.body[0]
+        assert if_stmt in graph.joins
+        join = graph.joins[if_stmt]
+        assert len(join.prev) == 2
+
+    def test_while_back_edge(self):
+        fn = parser.parse_str(
+            "def f(n):\n    i = 0\n    while i < n:\n        i = i + 1\n"
+        ).body[0]
+        graph = cfg.build(fn)
+        loop = fn.body[1]
+        header = graph.index[loop]
+        body_stmt = graph.index[loop.body[0]]
+        assert header in body_stmt.next  # back edge
+
+    def test_break_jumps_to_join(self):
+        fn = parser.parse_str(
+            "def f():\n    while True:\n        break\n    x = 1\n"
+        ).body[0]
+        graph = cfg.build(fn)
+        loop = fn.body[0]
+        brk = graph.index[loop.body[0]]
+        assert graph.joins[loop] in brk.next
+
+    def test_continue_jumps_to_header(self):
+        fn = parser.parse_str(
+            "def f():\n    while True:\n        continue\n"
+        ).body[0]
+        graph = cfg.build(fn)
+        loop = fn.body[0]
+        cont = graph.index[loop.body[0]]
+        assert graph.index[loop] in cont.next
+
+    def test_return_jumps_to_exit(self):
+        fn = parser.parse_str(
+            "def f(c):\n    if c:\n        return 1\n    return 2\n"
+        ).body[0]
+        graph = cfg.build(fn)
+        ret1 = graph.index[fn.body[0].body[0]]
+        assert graph.exit in ret1.next
+
+    def test_build_all_covers_nested(self):
+        fn = parser.parse_str(
+            "def f():\n    def g():\n        return 1\n    return g\n"
+        ).body[0]
+        graphs = cfg.build_all(fn)
+        assert len(graphs) == 2
+
+
+class TestActivity:
+    def test_statement_reads_writes(self):
+        node = _analyzed("def f(a):\n    b = a + 1\n")
+        scope = anno.getanno(node.body[0], anno.Static.SCOPE)
+        assert "a" in scope.read_simple
+        assert "b" in scope.modified_simple
+
+    def test_aug_assign_reads_and_writes(self):
+        node = _analyzed("def f(a):\n    a += 1\n")
+        scope = anno.getanno(node.body[0], anno.Static.SCOPE)
+        assert "a" in scope.read_simple
+        assert "a" in scope.modified_simple
+
+    def test_attribute_write_semantics(self):
+        """Paper §7.1: a.b = c modifies a.b, reads a — does not modify a."""
+        node = _analyzed("def f(a, c):\n    a.b = c\n")
+        scope = anno.getanno(node.body[0], anno.Static.SCOPE)
+        assert "a" in scope.read_simple
+        assert "a" not in scope.modified_simple
+        assert "a.b" in {str(q) for q in scope.modified}
+
+    def test_if_branch_scopes(self):
+        node = _analyzed(
+            "def f(c, x):\n    if c:\n        y = x\n    else:\n        y = -x\n"
+        )
+        if_node = node.body[0]
+        body_scope = anno.getanno(if_node, anno.Static.BODY_SCOPE)
+        orelse_scope = anno.getanno(if_node, anno.Static.ORELSE_SCOPE)
+        cond_scope = anno.getanno(if_node, anno.Static.COND_SCOPE)
+        assert "y" in body_scope.modified_simple
+        assert "y" in orelse_scope.modified_simple
+        assert "c" in cond_scope.read_simple
+
+    def test_loop_body_scope(self):
+        node = _analyzed(
+            "def f(n):\n    s = 0\n    while s < n:\n        s = s + 1\n"
+        )
+        scope = anno.getanno(node.body[1], anno.Static.BODY_SCOPE)
+        assert scope.modified_simple == {"s"}
+
+    def test_for_iterate_scope(self):
+        node = _analyzed("def f(xs):\n    for i in xs:\n        y = i\n")
+        it_scope = anno.getanno(node.body[0], anno.Static.ITERATE_SCOPE)
+        assert "xs" in it_scope.read_simple
+
+    def test_lambda_free_reads_propagate(self):
+        node = _analyzed("def f(k):\n    g = lambda v: v + k\n")
+        scope = anno.getanno(node.body[0], anno.Static.SCOPE)
+        assert "k" in scope.read_simple
+        assert "v" not in scope.read_simple
+
+    def test_nested_function_free_reads(self):
+        node = _analyzed(
+            "def f(k):\n    def g(v):\n        return v + k\n    return g\n"
+        )
+        scope = anno.getanno(node.body[0], anno.Static.SCOPE)
+        assert "k" in scope.read_simple
+        assert "v" not in scope.read_simple
+        assert "g" in scope.modified_simple
+
+    def test_comprehension_targets_isolated(self):
+        node = _analyzed("def f(xs):\n    y = [i * 2 for i in xs]\n")
+        scope = anno.getanno(node.body[0], anno.Static.SCOPE)
+        assert "xs" in scope.read_simple
+        assert "i" not in scope.modified_simple
+
+
+class TestLiveness:
+    def test_if_live_out(self):
+        node = _analyzed(
+            """
+def f(c, x):
+    if c:
+        y = x
+    else:
+        y = -x
+    t = 99
+    return y
+"""
+        )
+        live = anno.getanno(node.body[0], anno.Static.LIVE_VARS_OUT)
+        assert "y" in live
+        assert "t" not in live
+
+    def test_dead_after_if_not_live(self):
+        node = _analyzed(
+            """
+def f(c, x):
+    if c:
+        y = x
+        temp = y * 2
+        y = temp
+    return y
+"""
+        )
+        live = anno.getanno(node.body[0], anno.Static.LIVE_VARS_OUT)
+        assert "y" in live
+        assert "temp" not in live
+
+    def test_loop_header_liveness_carries_state(self):
+        node = _analyzed(
+            """
+def f(n):
+    s = 0
+    i = 0
+    while i < n:
+        t = i * 2
+        s = s + t
+        i = i + 1
+    return s
+"""
+        )
+        loop = node.body[2]
+        live_header = anno.getanno(loop, anno.Static.LIVE_VARS_IN_HEADER)
+        assert "i" in live_header  # read by the test
+        assert "s" in live_header  # live out of the loop
+        assert "t" not in live_header  # pure body temp
+        live_out = anno.getanno(loop, anno.Static.LIVE_VARS_OUT)
+        assert "s" in live_out
+        assert "i" not in live_out
+
+    def test_for_loop_liveness(self):
+        node = _analyzed(
+            """
+def f(xs):
+    total = 0
+    for x in xs:
+        total = total + x
+    return total
+"""
+        )
+        loop = node.body[1]
+        assert "total" in anno.getanno(loop, anno.Static.LIVE_VARS_IN_HEADER)
+
+
+class TestReachingDefinitions:
+    def test_param_defined(self):
+        node = _analyzed("def f(x):\n    if x:\n        y = 1\n")
+        info = anno.getanno(node.body[0], anno.Static.DEFINED_VARS_IN)
+        assert not info.possibly_undefined("x")
+
+    def test_branch_only_symbol_possibly_undefined(self):
+        node = _analyzed(
+            """
+def f(c):
+    if c:
+        y = 1
+    if c:
+        z = y
+"""
+        )
+        second_if = node.body[1]
+        info = anno.getanno(second_if, anno.Static.DEFINED_VARS_IN)
+        # y has a reaching def (may), so not definitely-undefined.
+        assert not info.possibly_undefined("y")
+
+    def test_never_defined_symbol(self):
+        node = _analyzed(
+            """
+def f(c):
+    if c:
+        y = 1
+    return y
+"""
+        )
+        info = anno.getanno(node.body[0], anno.Static.DEFINED_VARS_IN)
+        assert info.possibly_undefined("y")
+
+    def test_global_never_undefined(self):
+        node = _analyzed(
+            """
+def f(c):
+    if c:
+        y = SOME_GLOBAL
+    return y
+"""
+        )
+        info = anno.getanno(node.body[0], anno.Static.DEFINED_VARS_IN)
+        assert not info.possibly_undefined("SOME_GLOBAL")
+
+    def test_sequential_definition(self):
+        node = _analyzed(
+            """
+def f(c):
+    y = 0
+    if c:
+        y = 1
+"""
+        )
+        info = anno.getanno(node.body[1], anno.Static.DEFINED_VARS_IN)
+        assert not info.possibly_undefined("y")

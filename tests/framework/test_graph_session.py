@@ -1,0 +1,230 @@
+"""Unit tests: Graph construction, Session execution, plan caching."""
+
+import numpy as np
+import pytest
+
+from repro import framework as fw
+from repro.framework import ops
+from repro.framework.errors import FetchError, GraphError
+
+
+def _simple_graph():
+    g = fw.Graph()
+    with g.as_default():
+        x = ops.placeholder(fw.float32, [2], name="x")
+        y = ops.add(ops.multiply(x, 2.0), 1.0)
+    return g, x, y
+
+
+class TestGraph:
+    def test_create_op_appends(self):
+        g = fw.Graph()
+        with g.as_default():
+            ops.constant(1.0)
+        assert len(g.ops) == 1
+        assert g.ops[0].type == "Const"
+
+    def test_unique_names(self):
+        g = fw.Graph()
+        with g.as_default():
+            a = ops.add(ops.constant(1.0), ops.constant(2.0))
+            b = ops.add(ops.constant(1.0), ops.constant(2.0))
+        assert a.op.name != b.op.name
+
+    def test_name_scopes(self):
+        g = fw.Graph()
+        with g.as_default(), g.name_scope("layer1"):
+            t = ops.add(ops.constant(1.0), 1.0, name="z")
+        assert t.op.name.startswith("layer1/")
+
+    def test_scalar_const_dedup(self):
+        g = fw.Graph()
+        with g.as_default():
+            a = g.constant(1.0)
+            b = g.constant(1.0)
+            c = g.constant(2.0)
+        assert a is b
+        assert a is not c
+
+    def test_python_int_const_is_int32(self):
+        g = fw.Graph()
+        with g.as_default():
+            t = ops.constant(7)
+        assert t.dtype is fw.int32
+
+    def test_symbolic_bool_raises(self):
+        g, x, y = _simple_graph()
+        with pytest.raises(TypeError, match="symbolic Tensor"):
+            bool(y)
+
+    def test_symbolic_iter_raises(self):
+        g, x, y = _simple_graph()
+        with pytest.raises(TypeError):
+            iter(y)
+
+    def test_tensor_metadata(self):
+        g, x, y = _simple_graph()
+        assert x.dtype is fw.float32
+        assert x.shape.as_list() == [2]
+        assert y.graph is g
+        assert ":" in y.name
+
+    def test_cross_graph_input_rejected(self):
+        g1 = fw.Graph()
+        g2 = fw.Graph()
+        with g1.as_default():
+            a = ops.constant(1.0)
+        with g2.as_default():
+            with pytest.raises(GraphError):
+                ops.add(a, 1.0)
+
+    def test_shape_inference_matmul(self):
+        g = fw.Graph()
+        with g.as_default():
+            a = ops.placeholder(fw.float32, [3, 4])
+            b = ops.placeholder(fw.float32, [4, 5])
+            c = ops.matmul(a, b)
+        assert c.shape.as_list() == [3, 5]
+
+    def test_shape_inference_broadcast(self):
+        g = fw.Graph()
+        with g.as_default():
+            a = ops.placeholder(fw.float32, [3, 1])
+            b = ops.placeholder(fw.float32, [1, 5])
+            c = ops.add(a, b)
+        assert c.shape.as_list() == [3, 5]
+
+    def test_symbolic_in_eager_context_raises(self):
+        g, x, y = _simple_graph()
+        with pytest.raises(GraphError):
+            ops.add(y, 1.0)  # outside any graph context
+
+
+class TestSession:
+    def test_basic_run(self):
+        g, x, y = _simple_graph()
+        out = fw.Session(g).run(y, {x: [1.0, 2.0]})
+        assert np.allclose(out, [3.0, 5.0])
+
+    def test_structured_fetches(self):
+        g, x, y = _simple_graph()
+        sess = fw.Session(g)
+        result = sess.run({"a": y, "b": [y, x]}, {x: [0.0, 1.0]})
+        assert np.allclose(result["a"], [1.0, 3.0])
+        assert np.allclose(result["b"][1], [0.0, 1.0])
+
+    def test_missing_feed_raises(self):
+        g, x, y = _simple_graph()
+        with pytest.raises(FetchError, match="fed"):
+            fw.Session(g).run(y)
+
+    def test_feed_overrides_intermediate(self):
+        g = fw.Graph()
+        with g.as_default():
+            a = ops.constant(1.0)
+            b = ops.add(a, 1.0)
+            c = ops.multiply(b, 10.0)
+        out = fw.Session(g).run(c, {b: 5.0})
+        assert out == 50.0
+
+    def test_feed_dtype_coercion(self):
+        g, x, y = _simple_graph()
+        out = fw.Session(g).run(y, {x: np.array([1, 2], np.int64)})
+        assert out.dtype == np.float32
+
+    def test_feed_shape_validation(self):
+        g, x, y = _simple_graph()
+        with pytest.raises(FetchError, match="shape"):
+            fw.Session(g).run(y, {x: [1.0, 2.0, 3.0]})
+
+    def test_fetch_foreign_tensor_raises(self):
+        g1, x1, y1 = _simple_graph()
+        g2, x2, y2 = _simple_graph()
+        with pytest.raises(FetchError):
+            fw.Session(g1).run(y2, {x2: [0.0, 0.0]})
+
+    def test_pruning_skips_unrelated_ops(self):
+        g = fw.Graph()
+        calls = []
+
+        with g.as_default():
+            a = ops.constant(2.0)
+            b = ops.multiply(a, 3.0)
+            # An unrelated random op (stateful) must NOT run when not fetched.
+            r = ops.random_normal([2])
+        sess = fw.Session(g)
+        from repro.framework import kernels
+
+        rng_before = kernels.get_global_rng().bit_generator.state["state"]
+        assert sess.run(b) == 6.0
+        rng_after = kernels.get_global_rng().bit_generator.state["state"]
+        assert rng_before == rng_after
+
+    def test_plan_cache_reuse_and_invalidation(self):
+        g, x, y = _simple_graph()
+        sess = fw.Session(g)
+        sess.run(y, {x: [1.0, 1.0]})
+        assert len(sess._plan_cache) == 1
+        sess.run(y, {x: [2.0, 2.0]})
+        assert len(sess._plan_cache) == 1  # reused
+        with g.as_default():
+            z = ops.multiply(y, 2.0)
+        out = sess.run(z, {x: [1.0, 2.0]})
+        assert np.allclose(out, [6.0, 10.0])
+        assert len(sess._plan_cache) == 2  # new plan after graph change
+
+    def test_fetch_operation_runs_it(self):
+        g = fw.Graph()
+        with g.as_default():
+            v = fw.Variable(np.zeros((2,), np.float32), name="v_sess")
+            init = fw.global_variables_initializer()
+            upd = v.assign_add([1.0, 1.0])
+        sess = fw.Session(g)
+        sess.run(init)
+        sess.run(upd)
+        assert v.numpy().tolist() == [1.0, 1.0]
+
+    def test_execution_error_names_op(self):
+        g = fw.Graph()
+        with g.as_default():
+            x = ops.placeholder(fw.float32, [2])
+            y = ops.get_item(x, 7)  # out of range at run time
+        with pytest.raises(fw.ExecutionError, match="GetItem"):
+            fw.Session(g).run(y, {x: [1.0, 2.0]})
+
+    def test_context_manager(self):
+        g, x, y = _simple_graph()
+        with fw.Session(g) as sess:
+            assert np.allclose(sess.run(y, {x: [1.0, 0.0]}), [3.0, 1.0])
+
+
+class TestGraphEagerEquivalence:
+    @pytest.mark.parametrize("op_name,args", [
+        ("add", ([1.0, 2.0], [3.0, 4.0])),
+        ("subtract", ([1.0, 2.0], [3.0, 4.0])),
+        ("multiply", ([1.0, 2.0], [3.0, 4.0])),
+        ("divide", ([1.0, 2.0], [4.0, 8.0])),
+        ("maximum", ([1.0, 5.0], [3.0, 4.0])),
+        ("matmul", (np.eye(2, dtype=np.float32), [[1.0, 2.0], [3.0, 4.0]])),
+    ])
+    def test_binary_ops_match(self, op_name, args):
+        fn = getattr(ops, op_name)
+        eager = fn(ops.constant(args[0]), ops.constant(args[1])).numpy()
+        g = fw.Graph()
+        with g.as_default():
+            out = fn(ops.constant(args[0]), ops.constant(args[1]))
+        staged = fw.Session(g).run(out)
+        assert np.allclose(eager, staged)
+
+    @pytest.mark.parametrize("op_name", [
+        "tanh", "sigmoid", "exp", "relu", "square", "abs", "negative",
+    ])
+    def test_unary_ops_match(self, op_name):
+        fn = getattr(ops, op_name)
+        data = np.array([-1.5, 0.0, 2.0], np.float32)
+        eager = fn(ops.constant(data)).numpy()
+        g = fw.Graph()
+        with g.as_default():
+            out = fn(ops.constant(data))
+        staged = fw.Session(g).run(out)
+        assert np.allclose(eager, staged)

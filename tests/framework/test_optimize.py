@@ -1,0 +1,105 @@
+"""Unit tests: whole-graph optimizations (folding, CSE, DCE)."""
+
+import numpy as np
+
+from repro import framework as fw
+from repro.framework import ops
+from repro.framework.graph.optimize import count_ops, optimize_graph
+
+
+def test_dead_code_elimination():
+    g = fw.Graph()
+    with g.as_default():
+        a = ops.constant([1.0])
+        live = ops.multiply(a, 2.0)
+        _dead = ops.add(a, 100.0)
+        _dead2 = ops.exp(_dead)
+    new_g, fmap = optimize_graph(g, [live])
+    assert count_ops(new_g) < count_ops(g)
+    assert count_ops(new_g, "Exp") == 0
+    out = fw.Session(new_g).run(fmap[live])
+    assert out.tolist() == [2.0]
+
+
+def test_constant_folding():
+    g = fw.Graph()
+    with g.as_default():
+        a = ops.constant(2.0)
+        b = ops.constant(3.0)
+        c = ops.multiply(a, b)      # foldable
+        x = ops.placeholder(fw.float32, [])
+        y = ops.add(x, c)
+    new_g, fmap = optimize_graph(g, [y])
+    assert count_ops(new_g, "Mul") == 0
+    out = fw.Session(new_g).run(fmap[y], {_find_placeholder(new_g): 1.0})
+    assert out == 7.0
+
+
+def _find_placeholder(graph):
+    for op in graph.ops:
+        if op.type == "Placeholder":
+            return op.outputs[0]
+    raise AssertionError("no placeholder")
+
+
+def test_cse_merges_duplicates():
+    g = fw.Graph()
+    with g.as_default():
+        x = ops.placeholder(fw.float32, [2])
+        a = ops.tanh(x)
+        b = ops.tanh(x)   # identical
+        y = ops.add(a, b)
+    new_g, fmap = optimize_graph(g, [y], fold_constants=False)
+    assert count_ops(new_g, "Tanh") == 1
+    out = fw.Session(new_g).run(fmap[y], {_find_placeholder(new_g): [0.5, 1.0]})
+    assert np.allclose(out, 2 * np.tanh([0.5, 1.0]))
+
+
+def test_stateful_ops_not_merged():
+    g = fw.Graph()
+    with g.as_default():
+        r1 = ops.random_normal([2])
+        r2 = ops.random_normal([2])
+        y = ops.add(r1, r2)
+    new_g, fmap = optimize_graph(g, [y])
+    assert count_ops(new_g, "RandomNormal") == 2
+
+
+def test_stateful_ops_not_folded():
+    g = fw.Graph()
+    with g.as_default():
+        r = ops.random_normal([2])
+        y = ops.multiply(r, 1.0)
+    new_g, _ = optimize_graph(g, [y])
+    assert count_ops(new_g, "RandomNormal") == 1
+
+
+def test_control_flow_attrs_opaque():
+    g = fw.Graph()
+    with g.as_default():
+        p = ops.placeholder(fw.bool_, [])
+        out = fw.cond(p, lambda: ops.constant(1.0), lambda: ops.constant(2.0))
+    new_g, fmap = optimize_graph(g, [out])
+    sess = fw.Session(new_g)
+    assert sess.run(fmap[out], {_find_placeholder(new_g): True}) == 1.0
+    assert sess.run(fmap[out], {_find_placeholder(new_g): False}) == 2.0
+
+
+def test_optimized_graph_equivalent_on_random_dag():
+    rng = np.random.default_rng(3)
+    g = fw.Graph()
+    with g.as_default():
+        x = ops.placeholder(fw.float32, [4])
+        nodes = [x, ops.constant(rng.normal(size=4).astype(np.float32))]
+        for i in range(20):
+            a = nodes[rng.integers(len(nodes))]
+            b = nodes[rng.integers(len(nodes))]
+            op = [ops.add, ops.multiply, ops.maximum][int(rng.integers(3))]
+            nodes.append(op(a, b))
+        y = ops.reduce_sum(nodes[-1])
+    new_g, fmap = optimize_graph(g, [y])
+    feed_val = rng.normal(size=4).astype(np.float32)
+    original = fw.Session(g).run(y, {x: feed_val})
+    optimized = fw.Session(new_g).run(fmap[y], {_find_placeholder(new_g): feed_val})
+    assert np.allclose(original, optimized)
+    assert count_ops(new_g) <= count_ops(g)

@@ -1,0 +1,211 @@
+"""Unit tests: nn layers/cells/rnn/optimizer and the synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro import framework as fw
+from repro import nn
+from repro.datasets import (
+    load_mnist_synthetic,
+    load_treebank_synthetic,
+    random_sequences,
+    random_token_batches,
+)
+from repro.framework import GradientTape, ops
+
+
+class TestDense:
+    def test_shapes(self):
+        layer = nn.Dense(4, 3, rng=np.random.default_rng(0))
+        out = layer(ops.constant(np.ones((2, 4), np.float32)))
+        assert out.shape.as_list() == [2, 3]
+
+    def test_activation(self):
+        layer = nn.Dense(2, 2, activation=ops.relu, rng=np.random.default_rng(0))
+        out = layer(ops.constant(-np.ones((1, 2), np.float32) * 100))
+        assert np.all(np.asarray(out) >= 0)
+
+    def test_functional_apply(self):
+        layer = nn.Dense(2, 2, rng=np.random.default_rng(0))
+        x = ops.constant(np.ones((1, 2), np.float32))
+        default = layer(x)
+        manual = layer.apply_with_params(x, layer.w.value(), layer.b.value())
+        assert np.allclose(np.asarray(default), np.asarray(manual))
+
+    def test_mlp_stack(self):
+        mlp = nn.MLP([4, 8, 2], rng=np.random.default_rng(0))
+        assert len(mlp.variables) == 4
+        out = mlp(ops.constant(np.ones((3, 4), np.float32)))
+        assert out.shape.as_list() == [3, 2]
+
+    def test_mlp_requires_two_dims(self):
+        with pytest.raises(ValueError):
+            nn.MLP([4])
+
+
+class TestCells:
+    def test_basic_rnn_step(self):
+        cell = nn.BasicRNNCell(5, input_dim=3, rng=np.random.default_rng(0))
+        x = ops.constant(np.ones((2, 3), np.float32))
+        out, state = cell(x, cell.zero_state(2))
+        assert out.shape.as_list() == [2, 5]
+        assert np.all(np.abs(np.asarray(out)) <= 1.0)  # tanh range
+
+    def test_lstm_step(self):
+        cell = nn.LSTMCell(4, input_dim=3, rng=np.random.default_rng(0))
+        x = ops.constant(np.ones((2, 3), np.float32))
+        out, (c, h) = cell(x, cell.zero_state(2))
+        assert out.shape.as_list() == [2, 4]
+        assert np.allclose(np.asarray(out), np.asarray(h))
+
+    def test_lstm_state_evolves(self):
+        cell = nn.LSTMCell(4, input_dim=3, rng=np.random.default_rng(1))
+        x = ops.constant(np.ones((1, 3), np.float32))
+        state = cell.zero_state(1)
+        _, s1 = cell(x, state)
+        _, s2 = cell(x, s1)
+        assert not np.allclose(np.asarray(s1[0]), np.asarray(s2[0]))
+
+
+class TestDynamicRNN:
+    def _data(self, batch=3, seq=5, dim=4):
+        return random_sequences(batch, seq, dim, seed=0)
+
+    def test_eager_and_graph_agree(self):
+        data, lengths = self._data()
+        cell = nn.BasicRNNCell(6, input_dim=4, rng=np.random.default_rng(0))
+        eager_out, eager_state = nn.dynamic_rnn(
+            cell, ops.constant(data), cell.zero_state(3),
+            sequence_length=ops.constant(lengths))
+        g = fw.Graph()
+        with g.as_default():
+            x = ops.placeholder(fw.float32, list(data.shape))
+            l = ops.placeholder(fw.int32, [3])
+            out, state = nn.dynamic_rnn(cell, x, cell.zero_state(3),
+                                        sequence_length=l)
+        graph_out, graph_state = fw.Session(g).run(
+            (out, state), {x: data, l: lengths})
+        assert np.allclose(np.asarray(eager_out), graph_out, atol=1e-5)
+        assert np.allclose(np.asarray(eager_state), graph_state, atol=1e-5)
+
+    def test_masking_freezes_state(self):
+        data, _ = self._data(batch=2, seq=4)
+        lengths = np.array([2, 4], np.int32)
+        cell = nn.BasicRNNCell(3, input_dim=4, rng=np.random.default_rng(0))
+        out, state = nn.dynamic_rnn(
+            cell, ops.constant(data), cell.zero_state(2),
+            sequence_length=ops.constant(lengths))
+        out_np = np.asarray(out)
+        # Outputs past the sequence length are zeroed.
+        assert np.allclose(out_np[0, 2:], 0.0)
+        assert not np.allclose(out_np[1, 3], 0.0)
+        # Final state of the short sequence equals its step-2 output.
+        assert np.allclose(np.asarray(state)[0], out_np[0, 1], atol=1e-6)
+
+    def test_lstm_state_structure(self):
+        data, lengths = self._data()
+        cell = nn.LSTMCell(6, input_dim=4, rng=np.random.default_rng(0))
+        out, (c, h) = nn.dynamic_rnn(
+            cell, ops.constant(data), cell.zero_state(3),
+            sequence_length=ops.constant(lengths))
+        assert np.asarray(c).shape == (3, 6)
+
+
+class TestSGD:
+    def test_variable_updates(self):
+        v = fw.Variable(np.array([2.0], np.float32))
+        opt = nn.SGD(learning_rate=0.5)
+        opt.apply_gradients([(ops.constant([4.0]), v)])
+        assert v.numpy().tolist() == [0.0]
+
+    def test_functional_step(self):
+        opt = nn.SGD(learning_rate=0.1)
+        (new,) = opt.functional_step([ops.constant([1.0])], [ops.constant([10.0])])
+        assert np.allclose(np.asarray(new), [0.0])
+
+    def test_none_gradients_skipped(self):
+        v = fw.Variable(np.array([1.0], np.float32))
+        nn.SGD(0.1).apply_gradients([(None, v)])
+        assert v.numpy().tolist() == [1.0]
+
+    def test_training_linear_model_converges(self):
+        rng = np.random.default_rng(0)
+        true_w = np.array([[2.0], [-1.0]], np.float32)
+        x_data = rng.normal(size=(64, 2)).astype(np.float32)
+        y_data = x_data @ true_w
+        w = fw.Variable(np.zeros((2, 1), np.float32))
+        opt = nn.SGD(0.1)
+        for _ in range(100):
+            with GradientTape() as tape:
+                tape.watch(w)
+                pred = ops.matmul(ops.constant(x_data), w.value())
+                loss = ops.reduce_mean(ops.square(
+                    ops.subtract(pred, ops.constant(y_data))))
+            (gw,) = tape.gradient(loss, [w])
+            opt.apply_gradients([(gw, w)])
+        assert np.allclose(w.numpy(), true_w, atol=0.05)
+
+
+class TestTreeLSTMDefineByRun:
+    def test_loss_finite_and_learns(self):
+        trees = load_treebank_synthetic(num_trees=4, embed_dim=8, seed=0)
+        model = nn.TreeLSTMClassifier(8, num_classes=5,
+                                      rng=np.random.default_rng(0))
+        first = float(np.asarray(model.loss(trees[0])))
+        assert np.isfinite(first)
+        opt = nn.SGD(0.1)
+        for _ in range(10):
+            with GradientTape() as tape:
+                for v in model.variables:
+                    tape.watch(v)
+                loss = model.loss(trees[0])
+            grads = tape.gradient(loss, model.variables)
+            opt.apply_gradients(zip(grads, model.variables))
+        assert float(np.asarray(model.loss(trees[0]))) < first
+
+
+class TestDatasets:
+    def test_mnist_shapes_and_determinism(self):
+        x1, y1 = load_mnist_synthetic(100, seed=5)
+        x2, y2 = load_mnist_synthetic(100, seed=5)
+        assert x1.shape == (100, 784)
+        assert y1.shape == (100,)
+        assert x1.dtype == np.float32
+        assert np.array_equal(x1, x2)
+        assert set(np.unique(y1)) <= set(range(10))
+
+    def test_mnist_linearly_learnable(self):
+        x, y = load_mnist_synthetic(500, seed=0)
+        # Class means should classify well above chance.
+        means = np.stack([x[y == k].mean(0) for k in range(10)])
+        preds = np.argmax(x @ means.T, axis=1)
+        assert (preds == y).mean() > 0.5
+
+    def test_sequences(self):
+        data, lengths = random_sequences(4, 10, 3, seed=1)
+        assert data.shape == (4, 10, 3)
+        assert lengths.min() >= 1 and lengths.max() <= 10
+
+    def test_token_batches(self):
+        toks = random_token_batches(4, 6, 50, seed=2)
+        assert toks.shape == (4, 6)
+        assert toks.min() >= 1 and toks.max() < 50
+        multi = random_token_batches(4, 6, 50, num_batches=3, seed=2)
+        assert multi.shape == (3, 4, 6)
+
+    def test_treebank_structure(self):
+        trees = load_treebank_synthetic(num_trees=10, embed_dim=4,
+                                        min_leaves=2, max_leaves=6, seed=0)
+        assert len(trees) == 10
+        for t in trees:
+            assert 2 <= t.num_leaves() <= 6
+            assert 0 <= t.label < 5
+            _check_leaves(t)
+
+
+def _check_leaves(tree):
+    if tree.is_leaf:
+        assert tree.embedding.shape == (1, 4)
+    else:
+        _check_leaves(tree.left)
+        _check_leaves(tree.right)
