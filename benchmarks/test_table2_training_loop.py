@@ -10,7 +10,10 @@ A single linear layer trained on (synthetic) MNIST with SGD, four ways
 - **Model And Loop In Graph**: the whole 1000-step loop as a hand-written
   ``while_loop`` executed by one Session.run;
 - **Model And Loop In AutoGraph**: the same loop written as imperative
-  Python, converted.
+  Python, converted;
+- **Model And Loop In repro.function**: the same imperative loop behind
+  the ``@repro.function`` tracing JIT — no hand-wired Graph/Session; the
+  first call traces and every later call hits the signature cache.
 
 The batch is fixed (machinery isolation; the paper does not specify
 batch rotation).  Expected shape: Eager < Loop-in-Python < In-Graph ≈ AutoGraph, with
@@ -22,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import repro
 import repro.autograph as ag
 from repro import framework as fw
 from repro.benchmarks_util import scaled
@@ -41,6 +45,7 @@ IMPLS = (
     "Model In Graph, Loop In Python",
     "Model And Loop In Graph",
     "Model And Loop In AutoGraph",
+    "Model And Loop In repro.function",
 )
 
 
@@ -161,19 +166,44 @@ def _autograph_in_graph(bx, by):
     return run
 
 
+def _function_in_graph(bx, by):
+    """The whole loop behind the tracing JIT: no Graph/Session hand-wiring.
+
+    ``num_steps`` rides in as an np.int32 tensor leaf so the loop stages
+    as one in-graph while_loop; the learning rate is a Python float and
+    specializes the trace.  Warmup pays the single trace; timed rounds
+    execute the cached compiled plan.
+    """
+    train = repro.function(_ag_train)
+    w0 = np.zeros((784, 10), np.float32)
+    b0 = np.zeros((10,), np.float32)
+    steps = np.int32(STEPS)
+
+    def run():
+        train(bx, by, w0, b0, steps, LEARNING_RATE)
+
+    return run, train
+
+
 @pytest.mark.parametrize("impl", IMPLS)
 def test_table2_training(benchmark, results, impl):
     bx, by = _batch()
+    fn = None
     if impl == "Eager":
         run = _run_eager(bx, by)
     elif impl == "Model In Graph, Loop In Python":
         run = _run_loop_in_python(bx, by)
     elif impl == "Model And Loop In Graph":
         run = _handwritten_in_graph(bx, by)
-    else:
+    elif impl == "Model And Loop In AutoGraph":
         run = _autograph_in_graph(bx, by)
+    else:
+        run, fn = _function_in_graph(bx, by)
 
     benchmark.pedantic(run, rounds=RUNS, warmup_rounds=WARMUP)
+    if fn is not None:
+        # Staging is amortized: all warmup+timed calls shared one trace.
+        assert fn.trace_count == 1
     stats = benchmark.stats.stats
     steps_per_sec = STEPS / stats.mean
     std = steps_per_sec * (stats.stddev / stats.mean) if stats.mean else 0.0

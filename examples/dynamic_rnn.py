@@ -9,6 +9,7 @@ identical to the library (``Official``) graph implementation.
 
 import numpy as np
 
+import repro
 import repro.autograph as ag
 from repro import framework as fw
 from repro import nn
@@ -55,26 +56,28 @@ def main():
         (out_official, state_official), {x1: data, l1: lengths}
     )
 
-    # AutoGraph: the imperative version above, staged.
-    converted = ag.to_graph(ag_dynamic_rnn)
-    g2 = fw.Graph()
-    with g2.as_default():
-        x2 = ops.placeholder(fw.float32, [batch, seq, dim])
-        l2 = ops.placeholder(fw.int32, [batch])
-        out_ag, state_ag = converted(cell, x2, cell.zero_state(batch), l2)
-    ag_out, ag_state = fw.Session(g2).run((out_ag, state_ag), {x2: data, l2: lengths})
+    # The tracing JIT: the same imperative function behind @repro.function.
+    # No Graph/Session wiring — the cell keys the cache by identity, the
+    # data/lengths by dtype and shape.
+    traced_rnn = repro.function(ag_dynamic_rnn)
+    out_t, state_t = traced_rnn(cell, data, cell.zero_state(batch), lengths)
+    ag_out, ag_state = out_t.numpy(), state_t.numpy()
+    # Second batch with the same shapes: cache hit, no retrace.
+    data2, lengths2 = random_sequences(batch, seq, dim, seed=9)
+    traced_rnn(cell, data2, cell.zero_state(batch), lengths2)
+    assert traced_rnn.trace_count == 1, "same signature must not retrace"
 
     print("official outputs shape:", official_out.shape)
-    print("autograph outputs shape:", ag_out.shape)
-    print("max |official - autograph| (outputs):",
+    print("repro.function outputs shape:", ag_out.shape)
+    print("max |official - repro.function| (outputs):",
           float(np.max(np.abs(official_out - ag_out))))
-    print("max |official - autograph| (state):  ",
+    print("max |official - repro.function| (state):  ",
           float(np.max(np.abs(official_state - ag_state))))
     assert np.allclose(official_out, ag_out, atol=1e-5)
     assert np.allclose(official_state, ag_state, atol=1e-5)
-    print("OK: AutoGraph-converted imperative RNN matches the library graph "
-          "implementation (paper: 'produces results identical to "
-          "tf.dynamic_rnn').")
+    print("OK: the @repro.function-traced imperative RNN matches the library "
+          "graph implementation (paper: 'produces results identical to "
+          "tf.dynamic_rnn'), and staging was paid once across batches.")
 
 
 if __name__ == "__main__":

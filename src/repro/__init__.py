@@ -10,8 +10,23 @@ Packages:
   - :mod:`repro.nn` -- neural-network layers used by the evaluation.
   - :mod:`repro.datasets` -- synthetic datasets standing in for MNIST and
     the Stanford Sentiment Treebank.
+  - :mod:`repro.function` -- the tracing JIT built on top of both: the
+    ``@repro.function`` decorator traces Python through AutoGraph into an
+    optimized graph and caches one compiled plan per input signature.
 """
 
 __version__ = "0.1.0"
 
-__all__ = ["framework", "autograph", "lantern", "nn", "datasets"]
+from .function import ConcreteFunction, Function, TensorSpec, function
+
+__all__ = [
+    "framework",
+    "autograph",
+    "lantern",
+    "nn",
+    "datasets",
+    "function",
+    "Function",
+    "ConcreteFunction",
+    "TensorSpec",
+]

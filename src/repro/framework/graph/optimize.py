@@ -97,13 +97,18 @@ def optimize_graph(graph, fetches, fold_constants=True, cse=True):
         new_inputs = [tensor_map[id(t)] for t in op.inputs]
         new_controls = [op_map[id(c)] for c in op.control_inputs if id(c) in op_map]
         attr_key = None if _has_opaque_attrs(op) else _attr_key(op.attrs)
-        is_pure = not op.op_def.stateful and attr_key is not None
+        # Placeholders are never pure: two inputs with identical dtype and
+        # shape are still distinct inputs and must not be CSE-merged.
+        is_pure = (
+            not op.op_def.stateful
+            and attr_key is not None
+            and op.type != "Placeholder"
+        )
 
         # Constant folding.
         if (
             fold_constants
             and is_pure
-            and op.type != "Placeholder"
             and new_inputs
             and all(id(t) in const_values for t in new_inputs)
         ):

@@ -27,14 +27,22 @@ __all__ = ["Session"]
 class _CompiledPlan:
     """A pruned, topologically-ordered, slot-resolved execution plan."""
 
-    __slots__ = ("steps", "fetch_locators", "feed_slots", "n_slots", "fetch_structure")
+    __slots__ = ("steps", "fetch_locators", "feed_slots", "n_slots",
+                 "fetch_structure", "refs")
 
-    def __init__(self, steps, fetch_locators, feed_slots, n_slots, fetch_structure):
+    def __init__(self, steps, fetch_locators, feed_slots, n_slots,
+                 fetch_structure, refs=()):
         self.steps = steps
         self.fetch_locators = fetch_locators
         self.feed_slots = feed_slots
         self.n_slots = n_slots
         self.fetch_structure = fetch_structure
+        # Strong references to the fetch/feed objects this plan was
+        # compiled for.  Cache keys contain id()s; holding the objects
+        # guarantees CPython cannot recycle those ids into *different*
+        # tensors while the cache entry is alive, which would otherwise
+        # serve a stale plan.
+        self.refs = refs
 
 
 class Session:
@@ -60,6 +68,7 @@ class Session:
         plan = self._plan_cache.get(key)
         if plan is None:
             plan = self._compile(flat_fetches, feed_dict)
+            plan.refs = (tuple(flat_fetches), tuple(feed_dict))
             self._plan_cache[key] = plan
 
         values = [None] * plan.n_slots

@@ -147,6 +147,9 @@ class Variable(TensorOpsMixin):
             cached = op.outputs[0]
             cached.set_shape(self._shape)
             self._graph_reads[id(g)] = cached
+            # Let graph consumers (e.g. the repro.function tracing JIT)
+            # discover which variables a trace reads, and where.
+            g.add_to_collection("variable_reads", (self, cached))
         return cached
 
     read_value = value

@@ -1,0 +1,26 @@
+"""The tracing JIT: ``@repro.function`` and its concrete-function cache.
+
+This package is the repo's analogue of ``tf.function`` — the front-end
+TensorFlow shipped around AutoGraph.  It layers a polymorphic callable
+(:class:`Function`), a signature canonicalizer keyed on
+:class:`TensorSpec` dtype/shape atoms plus Python-value structure, and
+per-signature traced graphs (:class:`ConcreteFunction`) that are
+AutoGraph-converted, whole-graph-optimized and session-compiled once,
+then re-executed from cache.
+
+    import repro
+
+    @repro.function
+    def train_step(x, y, w, b):
+        ...
+
+    train_step(bx, by, w, b)   # traces, optimizes, compiles
+    train_step(bx, by, w, b)   # cache hit: runs the compiled plan
+    assert train_step.trace_count == 1
+"""
+
+from .concrete_function import ConcreteFunction
+from .function import Function, function
+from .tensor_spec import TensorSpec
+
+__all__ = ["ConcreteFunction", "Function", "TensorSpec", "function"]

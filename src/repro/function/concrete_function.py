@@ -1,0 +1,339 @@
+"""``ConcreteFunction``: one traced, optimized, executable graph.
+
+A concrete function is the unit the signature cache stores: the result of
+running the user's Python through AutoGraph *once* against placeholder
+inputs, then freezing the outcome:
+
+1. **trace** — tensor leaves of the canonical signature become
+   placeholders in a :class:`~repro.framework.graph.func_graph.FuncGraph`
+   and the converted function runs symbolically, staging its control flow
+   and side effects into graph ops;
+2. **optimize** — :func:`~repro.framework.graph.optimize.optimize_graph`
+   (DCE / constant folding / CSE) runs at trace time, so every later call
+   executes the already-optimized graph;
+3. **execute** — a private :class:`~repro.framework.graph.session.Session`
+   runs the optimized graph; its compiled plan is built on the first call
+   and reused after that, which is what amortizes staging cost across
+   calls (the paper's Table-2 effect, without hand-wiring).
+
+Stateful ops staged during the trace (variable assigns, staged prints)
+are added to the run fetches even when no returned tensor depends on
+them, so a traced training step really updates its variables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..framework import context, nest
+from ..framework.eager import tape as tape_module
+from ..framework.eager.tensor import EagerTensor
+from ..framework.errors import StagingError
+from ..framework.graph.func_graph import FuncGraph
+from ..framework.graph.graph import Tensor
+from ..framework.graph.optimize import optimize_graph
+from ..framework.graph.session import Session
+from ..framework.graph.variables import Variable
+from . import signature as signature_lib
+
+__all__ = ["ConcreteFunction", "trace_concrete_function"]
+
+
+class _FunctionOpDef:
+    """Minimal OpDef stand-in so a whole traced call can sit on a tape."""
+
+    __slots__ = ("name", "grad_fn", "num_outputs", "stateful")
+
+    def __init__(self, name, grad_fn, num_outputs):
+        self.name = name
+        self.grad_fn = grad_fn
+        self.num_outputs = num_outputs
+        self.stateful = False
+
+
+def _convert_for_trace(python_function, autograph):
+    import inspect
+    import warnings
+
+    from .. import autograph as ag
+
+    if autograph and (inspect.isfunction(python_function)
+                      or inspect.ismethod(python_function)):
+        try:
+            return ag.to_graph(python_function)
+        except ag.ConversionError as e:
+            # Trace unconverted: op dispatch still stages, but Python
+            # control flow on tensors will raise with a clear message.
+            warnings.warn(
+                f"repro.function could not convert "
+                f"{getattr(python_function, '__name__', python_function)!r} "
+                f"with AutoGraph and will trace it unconverted. Cause: {e}",
+                stacklevel=2,
+            )
+    return python_function
+
+
+def _reachable_ops(roots):
+    seen = set()
+    stack = [t.op for t in roots]
+    while stack:
+        op = stack.pop()
+        if id(op) in seen:
+            continue
+        seen.add(id(op))
+        for t in op.inputs:
+            if id(t.op) not in seen:
+                stack.append(t.op)
+        for c in op.control_inputs:
+            if id(c) not in seen:
+                stack.append(c)
+    return seen
+
+
+class ConcreteFunction:
+    """A single traced signature of a :class:`~repro.function.Function`."""
+
+    def __init__(self, python_function, canonical, name,
+                 autograph=True, optimize=True):
+        self._python_function = python_function
+        self._canonical = canonical
+        self._py_signature = signature_lib.signature_of(python_function)
+        self.name = name
+        self._optimize = optimize
+        self._backward = None
+
+        # -- 1. trace -------------------------------------------------------
+        fg = FuncGraph(f"{name}_graph", outer_graph=None)
+        converted = _convert_for_trace(python_function, autograph)
+        with fg.as_default():
+            placeholders = [
+                fg.add_input(spec.dtype, spec.shape,
+                             name=spec.name or f"arg_{i}")
+                for i, spec in enumerate(canonical.specs)
+            ]
+            flat = list(canonical.flat_leaves)
+            for idx, ph in zip(canonical.tensor_indices, placeholders):
+                flat[idx] = ph
+            call_args, call_kwargs = nest.pack_sequence_as(
+                canonical.structure, flat)
+            result = converted(*call_args, **call_kwargs)
+
+        # Variables created during the trace get their initial value now,
+        # so the session kernels (which read live state) can run.
+        for v in fg.get_collection("variables"):
+            v.initialize()
+
+        # -- classify structured outputs -----------------------------------
+        flat_out = nest.flatten(result)
+        tensor_outs = []
+        self._output_template = []
+        for leaf in flat_out:
+            if isinstance(leaf, Variable):
+                with fg.as_default():
+                    leaf = leaf.value()
+            if isinstance(leaf, Tensor):
+                if leaf.graph is not fg:
+                    raise StagingError(
+                        f"Traced function {name!r} returned tensor "
+                        f"{leaf.name!r} from a foreign graph"
+                    )
+                self._output_template.append(("t", len(tensor_outs)))
+                tensor_outs.append(leaf)
+            else:
+                self._output_template.append(("c", leaf))
+        self._output_structure = result
+        fg.flat_outputs = list(tensor_outs)
+        self.graph = fg
+        # Variables read at the top level of the trace: their reads are
+        # extra differentiation targets for the tape bridge, and their
+        # eager values join the recorded op's inputs.
+        self._variable_reads = list(fg.get_collection("variable_reads"))
+
+        # Side effects must survive plan pruning: fetch every stateful op
+        # the returned tensors do not already reach.
+        reachable = _reachable_ops(tensor_outs)
+        self._state_fetches_traced = [
+            op.outputs[0] for op in fg.ops
+            if op.op_def.stateful and id(op) not in reachable and op.outputs
+        ]
+
+        # -- 2. optimize ----------------------------------------------------
+        anchors = (tensor_outs + self._state_fetches_traced + placeholders)
+        if optimize and anchors:
+            opt_graph, fmap = optimize_graph(fg, anchors)
+            remap = fmap.__getitem__
+        else:
+            opt_graph = fg
+            remap = lambda t: t  # noqa: E731
+        self.optimized_graph = opt_graph
+
+        # -- 3. the cached execution plan ------------------------------------
+        self._session = Session(opt_graph)
+        self._feeds = [remap(ph) for ph in placeholders]
+        self._output_fetches = [remap(t) for t in tensor_outs]
+        self._run_fetches = self._output_fetches + [
+            remap(t) for t in self._state_fetches_traced
+        ]
+        self._grad_op_def = _FunctionOpDef(
+            f"{name}_call", self._grad_fn, len(self._output_fetches))
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def inputs(self):
+        """The traced input placeholders (one per tensor leaf)."""
+        return list(self.graph.inputs)
+
+    @property
+    def outputs(self):
+        """The traced output tensors."""
+        return list(self.graph.flat_outputs)
+
+    @property
+    def structured_input_signature(self):
+        return list(self._canonical.specs)
+
+    # -- execution -----------------------------------------------------------
+
+    def __call__(self, *args, **kwargs):
+        canonical = signature_lib.canonicalize(self._py_signature, args, kwargs)
+        self._check_compatible(canonical)
+        return self._call_canonical(canonical)
+
+    def _check_compatible(self, canonical):
+        """Reject calls whose *full* signature differs from the trace.
+
+        Tensor leaves only need spec compatibility (the traced spec may
+        be shape-relaxed), but constants, structure and identity-keyed
+        objects were baked into this graph and must match exactly —
+        otherwise a call would silently run the wrong specialization.
+        """
+        st_mine, tokens_mine = self._canonical.key
+        st_theirs, tokens_theirs = canonical.key
+        if st_mine != st_theirs or len(tokens_mine) != len(tokens_theirs):
+            raise StagingError(
+                f"Concrete function {self.name!r} was traced for a "
+                "different argument structure"
+            )
+        for mine, theirs in zip(tokens_mine, tokens_theirs):
+            if mine[0] == "T" and theirs[0] == "T":
+                if not mine[1].is_compatible_with(theirs[1]):
+                    raise StagingError(
+                        f"Concrete function {self.name!r} expects "
+                        f"{mine[1]}, got {theirs[1]}"
+                    )
+            elif mine != theirs:
+                raise StagingError(
+                    f"Concrete function {self.name!r} was specialized for "
+                    f"argument {mine!r} but was called with {theirs!r}; "
+                    "call the polymorphic Function to retrace"
+                )
+
+    def _call_canonical(self, canonical):
+        tape_active = bool(tape_module._TAPE_STACK)
+        # Capture the variables' eager values *before* running: the call
+        # may assign them, and the tape watches the pre-call reads.
+        var_inputs = (
+            tuple(v.value() for v, _ in self._variable_reads)
+            if tape_active else ()
+        )
+        result, tensor_outputs = self._run(canonical.tensor_values())
+        if tape_active and tensor_outputs:
+            eager_inputs = tuple(
+                leaf if isinstance(leaf, EagerTensor)
+                else EagerTensor(np.asarray(leaf))
+                for leaf in (canonical.flat_leaves[i]
+                             for i in canonical.tensor_indices)
+            ) + var_inputs
+            tape_module.record_operation(
+                self._grad_op_def, eager_inputs, tensor_outputs, {})
+        return result
+
+    def call_flat(self, tensor_values):
+        """Run the compiled plan on flat tensor-leaf values."""
+        result, _ = self._run(tensor_values)
+        return result
+
+    def _run(self, tensor_values):
+        fetched = self._session.run(
+            self._run_fetches, dict(zip(self._feeds, tensor_values)))
+        tensor_outputs = tuple(
+            EagerTensor(fetched[i]) for i in range(len(self._output_fetches)))
+        leaves = [
+            tensor_outputs[payload] if kind == "t" else payload
+            for kind, payload in self._output_template
+        ]
+        return (nest.pack_sequence_as(self._output_structure, leaves),
+                tensor_outputs)
+
+    # -- gradients ------------------------------------------------------------
+
+    def _ensure_backward(self):
+        """Stage d(outputs)/d(inputs) into the trace graph, once."""
+        if self._backward is not None:
+            return self._backward
+        from ..framework.graph.gradients import gradients as graph_gradients
+
+        fg = self.graph
+        seeds = [
+            fg.placeholder(t.dtype, t.shape, name="grad_seed")
+            for t in fg.flat_outputs
+        ]
+        # Differentiate with respect to both the declared inputs and the
+        # tensors read from variables, in recorded-input order.
+        targets = list(fg.inputs) + [rt for _, rt in self._variable_reads]
+        in_grads = graph_gradients(
+            list(fg.flat_outputs), targets, grad_ys=seeds)
+        live = [g for g in in_grads if g is not None]
+        anchors = live + list(fg.inputs) + seeds
+        if self._optimize and live:
+            bw_graph, fmap = optimize_graph(fg, anchors)
+            remap = fmap.__getitem__
+        else:
+            bw_graph = fg
+            remap = lambda t: t  # noqa: E731
+        self._backward = (
+            Session(bw_graph),
+            [remap(ph) for ph in fg.inputs],
+            [remap(s) for s in seeds],
+            [None if g is None else remap(g) for g in in_grads],
+        )
+        return self._backward
+
+    def _grad_fn(self, record, *out_grads):
+        sess, in_phs, seed_phs, grad_ts = self._ensure_backward()
+        feed = {}
+        # record.inputs = tensor leaves then variable reads; only the
+        # leaves feed placeholders (variable reads re-execute in the
+        # backward graph against live state).
+        for ph, v in zip(in_phs, record.inputs[:len(in_phs)]):
+            feed[ph] = v.numpy()
+        for ph, g in zip(seed_phs, out_grads):
+            feed[ph] = g.numpy() if isinstance(g, EagerTensor) else g
+        live = [g for g in grad_ts if g is not None]
+        fetched = iter(sess.run(live, feed)) if live else iter(())
+        return [
+            None if g is None else EagerTensor(next(fetched))
+            for g in grad_ts
+        ]
+
+    def __repr__(self):
+        return (f"<ConcreteFunction {self.name!r} inputs="
+                f"{self._canonical.specs} ops={len(self.graph.ops)}"
+                f" optimized_ops={len(self.optimized_graph.ops)}>")
+
+
+ConcreteFunction.__call__.__ag_do_not_convert__ = True
+ConcreteFunction.call_flat.__ag_do_not_convert__ = True
+
+
+def trace_concrete_function(python_function, canonical, name,
+                            autograph=True, optimize=True):
+    """Trace ``python_function`` for one canonical signature."""
+    if context.has_default_graph():
+        raise StagingError(
+            "Cannot trace a concrete function while a graph is being built"
+        )
+    return ConcreteFunction(
+        python_function, canonical, name,
+        autograph=autograph, optimize=optimize)

@@ -1,0 +1,214 @@
+"""``repro.function``: the polymorphic tracing-JIT entry point.
+
+``Function`` wraps a Python callable and manages a *signature-keyed cache
+of concrete functions* (the design ``tf.function`` shipped around
+AutoGraph):
+
+- first call with a new input signature → trace through AutoGraph,
+  optimize, compile — and remember the result;
+- later calls with the same signature → execute the cached plan;
+- tensor leaves key by ``TensorSpec`` (dtype/shape), Python values key by
+  value (constant specialization), objects by identity;
+- optional *shape relaxation*: after ``retrace_limit`` traces a
+  shape-polymorphic workload stops minting one graph per shape and
+  traces once with all dimensions unknown.
+
+Inside an enclosing graph trace the wrapper inlines instead of caching,
+so nested ``@repro.function`` compositions produce one flat graph.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import warnings
+
+from ..framework import context
+from . import signature as signature_lib
+from .concrete_function import ConcreteFunction, trace_concrete_function
+
+__all__ = ["Function", "function"]
+
+
+class Function:
+    """A callable managing one concrete function per input signature."""
+
+    def __init__(self, python_function, name=None, autograph=True,
+                 optimize=True, reduce_retracing=False, retrace_limit=8):
+        original = getattr(python_function, "__ag_original__", None)
+        if original is not None:
+            python_function = original
+        if not callable(python_function):
+            raise TypeError(
+                f"repro.function requires a callable, got "
+                f"{type(python_function).__name__}"
+            )
+        self._python_function = python_function
+        self._name = name or getattr(python_function, "__name__", "fn")
+        self._autograph = autograph
+        self._optimize = optimize
+        self._reduce_retracing = reduce_retracing
+        self._retrace_limit = retrace_limit
+
+        self._py_signature = signature_lib.signature_of(python_function)
+        self._cache = {}
+        self._keepalive = []
+        self._lock = threading.Lock()
+        self._inline_converted = None
+        functools.update_wrapper(self, python_function, updated=())
+
+    # -- diagnostics -----------------------------------------------------------
+
+    @property
+    def python_function(self):
+        return self._python_function
+
+    @property
+    def name(self):
+        return self._name
+
+    @property
+    def trace_count(self):
+        """How many times this function has been traced (cache misses)."""
+        return len(self._cache)
+
+    @property
+    def cache_size(self):
+        return len(self._cache)
+
+    def concrete_functions(self):
+        """All cached :class:`ConcreteFunction`s, oldest first."""
+        return list(self._cache.values())
+
+    def pretty_cache(self):
+        """Human-readable view of the cached signatures (retrace debugging)."""
+        lines = []
+        for cf in self._cache.values():
+            specs = ", ".join(repr(s) for s in cf.structured_input_signature)
+            lines.append(f"{cf.name}({specs})")
+        return "\n".join(lines)
+
+    # -- the cache ------------------------------------------------------------
+
+    def _lookup_or_trace(self, canonical):
+        cf = self._cache.get(canonical.key)
+        if cf is not None:
+            return cf, canonical
+        if self._reduce_retracing:
+            cf = self._cache.get(canonical.relaxed_key)
+            if cf is not None:
+                return cf, canonical
+        with self._lock:
+            cf = self._cache.get(canonical.key)
+            if cf is not None:
+                return cf, canonical
+            if (self._reduce_retracing
+                    and len(self._cache) >= self._retrace_limit):
+                # Too many shape-specialized traces: relax every tensor
+                # dimension so one generic graph absorbs future shapes.
+                canonical = canonical.relaxed()
+                cf = self._cache.get(canonical.key)
+                if cf is not None:
+                    return cf, canonical
+            if (not self._reduce_retracing
+                    and len(self._cache) + 1 == self._retrace_limit):
+                warnings.warn(
+                    f"repro.function {self._name!r} has been traced "
+                    f"{self._retrace_limit} times. Frequent retracing is "
+                    "expensive; pass varying Python scalars as tensors "
+                    "(e.g. np.int32) or construct the Function with "
+                    "reduce_retracing=True.",
+                    stacklevel=3,
+                )
+            cf = trace_concrete_function(
+                self._python_function, canonical,
+                f"{self._name}_{len(self._cache)}",
+                autograph=self._autograph, optimize=self._optimize,
+            )
+            self._cache[canonical.key] = cf
+            # Identity-keyed leaves (Variables, model objects) must stay
+            # alive while the cache entry exists, or their recycled ids
+            # could alias a different object to this trace.
+            self._keepalive.extend(canonical.keepalive)
+            return cf, canonical
+
+    # -- calling ---------------------------------------------------------------
+
+    def __call__(self, *args, **kwargs):
+        if context.has_default_graph():
+            return self._inline_symbolic(args, kwargs)
+        canonical = signature_lib.canonicalize(self._py_signature, args, kwargs)
+        cf, canonical = self._lookup_or_trace(canonical)
+        return cf._call_canonical(canonical)
+
+    def _inline_symbolic(self, args, kwargs):
+        """Inside an outer trace: stage into the enclosing graph directly."""
+        import inspect
+
+        if self._inline_converted is None:
+            fn = self._python_function
+            if self._autograph and (inspect.isfunction(fn)
+                                    or inspect.ismethod(fn)):
+                from .. import autograph as ag
+
+                fn = ag.to_graph(fn)
+            self._inline_converted = fn
+        return self._inline_converted(*args, **kwargs)
+
+    def get_concrete_function(self, *args, **kwargs):
+        """Trace (or fetch) the concrete function for these arguments.
+
+        Arguments may be concrete values or bare
+        :class:`~repro.function.TensorSpec`s.
+        """
+        canonical = signature_lib.canonicalize(self._py_signature, args, kwargs)
+        cf, _ = self._lookup_or_trace(canonical)
+        return cf
+
+    # -- decorator plumbing ----------------------------------------------------
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        return functools.partial(self.__call__, instance)
+
+    def __repr__(self):
+        return (f"<repro.function.Function {self._name!r} "
+                f"traces={self.trace_count}>")
+
+
+# The JIT machinery itself must never be source-converted when a Function
+# is invoked from inside AutoGraph-generated code.
+Function.__call__.__ag_do_not_convert__ = True
+Function._inline_symbolic.__ag_do_not_convert__ = True
+Function.get_concrete_function.__ag_do_not_convert__ = True
+
+
+def function(func=None, *, name=None, autograph=True, optimize=True,
+             reduce_retracing=False, retrace_limit=8):
+    """Decorate ``func`` as a traced, cached graph function.
+
+    Usable bare (``@repro.function``), with options
+    (``@repro.function(reduce_retracing=True)``), or inline
+    (``fast = repro.function(step)``).
+
+    Args:
+      func: the Python function to stage.
+      name: optional display name for traces and diagnostics.
+      autograph: convert ``func`` (and its call tree) with AutoGraph so
+        data-dependent Python control flow stages into the graph.
+      optimize: run DCE/const-folding/CSE on every trace.
+      reduce_retracing: after ``retrace_limit`` traces, relax tensor
+        shapes instead of minting one graph per shape.
+      retrace_limit: trace budget before relaxing (or warning).
+
+    Returns:
+      A :class:`Function`, or a decorator when called with options only.
+    """
+    if func is None:
+        return functools.partial(
+            function, name=name, autograph=autograph, optimize=optimize,
+            reduce_retracing=reduce_retracing, retrace_limit=retrace_limit)
+    return Function(
+        func, name=name, autograph=autograph, optimize=optimize,
+        reduce_retracing=reduce_retracing, retrace_limit=retrace_limit)

@@ -1,0 +1,168 @@
+"""Input-signature canonicalization for the tracing JIT.
+
+Turns a concrete ``(args, kwargs)`` call into a hashable *cache key* plus
+the ingredients a trace needs:
+
+- tensor-like leaves (eager tensors, NumPy arrays/scalars) become
+  :class:`TensorSpec` atoms — calls whose leaves share dtype/shape hit
+  the same concrete function;
+- Python scalars, strings and ``None`` are *constants*: their values are
+  part of the key, so the trace specializes on them (a different
+  ``learning_rate`` is a different graph);
+- :class:`~repro.framework.graph.variables.Variable` and arbitrary
+  Python objects key by identity and are kept alive by the signature so
+  CPython cannot recycle their ids while a cached trace exists.
+
+Structure is keyed via the same traversal rules as
+:mod:`repro.framework.nest` (dicts by sorted key, sequences in order),
+so the leaf order here matches ``nest.flatten`` exactly and traced
+placeholders can be re-packed with ``nest.pack_sequence_as``.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+
+from ..framework import nest
+from ..framework.eager.tensor import EagerTensor
+from ..framework.errors import StagingError
+from ..framework.graph.graph import Tensor
+from ..framework.graph.variables import Variable
+from .tensor_spec import TensorSpec
+
+__all__ = ["CanonicalSignature", "canonicalize"]
+
+
+class CanonicalSignature:
+    """The canonical form of one call: cache keys + trace ingredients."""
+
+    __slots__ = (
+        "key", "relaxed_key", "structure", "flat_leaves",
+        "tensor_indices", "specs", "keepalive",
+    )
+
+    def __init__(self, key, relaxed_key, structure, flat_leaves,
+                 tensor_indices, specs, keepalive):
+        self.key = key
+        self.relaxed_key = relaxed_key
+        # The bound (args, kwargs) structure; leaves in nest order.
+        self.structure = structure
+        self.flat_leaves = flat_leaves
+        # Positions in flat_leaves that are tensor leaves (traced as
+        # placeholders); parallel to ``specs``.
+        self.tensor_indices = tensor_indices
+        self.specs = specs
+        self.keepalive = keepalive
+
+    def tensor_values(self):
+        """Concrete values for the tensor leaves, in placeholder order."""
+        values = []
+        for i in self.tensor_indices:
+            leaf = self.flat_leaves[i]
+            if isinstance(leaf, TensorSpec):
+                raise StagingError(
+                    "Cannot execute a concrete function traced from bare "
+                    "TensorSpecs without concrete tensor arguments"
+                )
+            values.append(leaf.numpy() if isinstance(leaf, EagerTensor) else leaf)
+        return values
+
+    def relaxed(self):
+        """This signature with every tensor spec fully shape-relaxed."""
+        return CanonicalSignature(
+            self.relaxed_key, self.relaxed_key, self.structure,
+            self.flat_leaves, self.tensor_indices,
+            [s.most_general() for s in self.specs], self.keepalive,
+        )
+
+
+def _is_tensor_leaf(leaf):
+    return isinstance(leaf, (EagerTensor, TensorSpec, np.ndarray, np.generic))
+
+
+def _structure_token(structure):
+    if isinstance(structure, dict):
+        return ("d", type(structure).__name__,
+                tuple((k, _structure_token(structure[k])) for k in sorted(structure)))
+    if nest._is_namedtuple(structure):
+        return ("nt", type(structure).__name__, structure._fields,
+                tuple(_structure_token(item) for item in structure))
+    if nest.is_sequence(structure):
+        return ("s", type(structure).__name__,
+                tuple(_structure_token(item) for item in structure))
+    return "*"
+
+
+def bind_arguments(py_signature, args, kwargs):
+    """Normalize a call to the function's parameter order (with defaults)."""
+    if py_signature is not None:
+        try:
+            bound = py_signature.bind(*args, **kwargs)
+            bound.apply_defaults()
+            return tuple(bound.args), dict(bound.kwargs)
+        except TypeError:
+            # Let the traced call itself raise the accurate error.
+            pass
+    return tuple(args), dict(kwargs)
+
+
+def canonicalize(py_signature, args, kwargs):
+    """Build the :class:`CanonicalSignature` for one call."""
+    structure = bind_arguments(py_signature, args, kwargs)
+    flat_leaves = nest.flatten(structure)
+
+    exact_tokens = []
+    relaxed_tokens = []
+    tensor_indices = []
+    specs = []
+    keepalive = []
+
+    for i, leaf in enumerate(flat_leaves):
+        if isinstance(leaf, Tensor):
+            raise StagingError(
+                f"Symbolic tensor {leaf.name!r} passed to a repro.function "
+                "outside a graph context; symbolic values only make sense "
+                "while a graph is being traced"
+            )
+        if _is_tensor_leaf(leaf):
+            spec = TensorSpec.from_value(leaf)
+            tensor_indices.append(i)
+            specs.append(spec)
+            exact_tokens.append(("T", spec))
+            relaxed_tokens.append(("T", spec.most_general()))
+            continue
+        if isinstance(leaf, Variable):
+            keepalive.append(leaf)
+            token = ("V", id(leaf))
+        elif leaf is None or isinstance(leaf, (bool, int, float, str, bytes)):
+            token = ("C", type(leaf).__name__, leaf)
+        else:
+            try:
+                hash(leaf)
+                token = ("C", type(leaf).__name__, leaf)
+            except TypeError:
+                token = ("O", id(leaf))
+            keepalive.append(leaf)
+        exact_tokens.append(token)
+        relaxed_tokens.append(token)
+
+    st = _structure_token(structure)
+    return CanonicalSignature(
+        key=(st, tuple(exact_tokens)),
+        relaxed_key=(st, tuple(relaxed_tokens)),
+        structure=structure,
+        flat_leaves=flat_leaves,
+        tensor_indices=tensor_indices,
+        specs=specs,
+        keepalive=keepalive,
+    )
+
+
+def signature_of(python_function):
+    """``inspect.signature`` or None when the callable has no signature."""
+    try:
+        return inspect.signature(python_function)
+    except (TypeError, ValueError):
+        return None

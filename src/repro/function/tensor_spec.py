@@ -1,0 +1,86 @@
+"""``TensorSpec``: the dtype/shape contract of one traced-function input.
+
+A spec plays two roles in the tracing JIT:
+
+- it is the *cache-key atom* for tensor arguments — two calls whose
+  tensor leaves produce equal specs share one :class:`ConcreteFunction`;
+- it is the *placeholder recipe* at trace time — each spec becomes one
+  graph placeholder with the spec's dtype and (possibly partial) shape.
+
+``most_general()`` implements shape relaxation: the same dtype and rank
+with every dimension unknown, so one relaxed trace serves a family of
+shapes once a :class:`~repro.function.Function` has retraced too often.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..framework import dtypes
+from ..framework.shapes import TensorShape
+
+__all__ = ["TensorSpec"]
+
+
+class TensorSpec:
+    """A (shape, dtype) description of a tensor argument."""
+
+    __slots__ = ("_shape", "_dtype", "_name")
+
+    def __init__(self, shape=None, dtype=dtypes.float32, name=None):
+        self._shape = shape if isinstance(shape, TensorShape) else TensorShape(shape)
+        self._dtype = dtypes.as_dtype(dtype)
+        self._name = name
+
+    @property
+    def shape(self):
+        return self._shape
+
+    @property
+    def dtype(self):
+        return self._dtype
+
+    @property
+    def name(self):
+        return self._name
+
+    @classmethod
+    def from_value(cls, value, name=None):
+        """Spec describing a concrete tensor-like value."""
+        from ..framework.eager.tensor import EagerTensor
+        from ..framework.graph.graph import Tensor
+
+        if isinstance(value, (EagerTensor, Tensor)):
+            return cls(value.shape, value.dtype, name=name)
+        if isinstance(value, TensorSpec):
+            return cls(value.shape, value.dtype, name=name or value.name)
+        # NumPy arrays keep their dtype, matching graph.constant: only
+        # bare Python literals default-narrow, and those are constant
+        # leaves (not tensor leaves) in the signature.
+        arr = np.asarray(value)
+        return cls(TensorShape(arr.shape), dtypes.from_numpy(arr.dtype),
+                   name=name)
+
+    def most_general(self):
+        """The relaxed spec: same dtype/rank, every dimension unknown."""
+        if self._shape.dims is None:
+            return TensorSpec(None, self._dtype, name=self._name)
+        return TensorSpec([None] * len(self._shape.dims), self._dtype,
+                          name=self._name)
+
+    def is_compatible_with(self, value):
+        """True if ``value`` (tensor-like or spec) satisfies this spec."""
+        other = value if isinstance(value, TensorSpec) else TensorSpec.from_value(value)
+        return (self._dtype == other.dtype
+                and self._shape.is_compatible_with(other.shape))
+
+    def __eq__(self, other):
+        if not isinstance(other, TensorSpec):
+            return NotImplemented
+        return self._dtype == other._dtype and self._shape.dims == other._shape.dims
+
+    def __hash__(self):
+        return hash((self._dtype, self._shape.dims))
+
+    def __repr__(self):
+        return f"TensorSpec(shape={self._shape}, dtype={self._dtype.name})"

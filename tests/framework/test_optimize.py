@@ -74,6 +74,21 @@ def test_stateful_ops_not_folded():
     assert count_ops(new_g, "RandomNormal") == 1
 
 
+def test_identical_placeholders_not_merged():
+    # Two inputs with the same dtype/shape are distinct inputs: CSE must
+    # never merge Placeholder nodes, or x - y would become x - x.
+    g = fw.Graph()
+    with g.as_default():
+        x = ops.placeholder(fw.float32, [2])
+        y = ops.placeholder(fw.float32, [2])
+        z = ops.subtract(x, y)
+    new_g, fmap = optimize_graph(g, [z, x, y])
+    assert count_ops(new_g, "Placeholder") == 2
+    out = fw.Session(new_g).run(
+        fmap[z], {fmap[x]: [5.0, 5.0], fmap[y]: [2.0, 1.0]})
+    assert out.tolist() == [3.0, 4.0]
+
+
 def test_control_flow_attrs_opaque():
     g = fw.Graph()
     with g.as_default():

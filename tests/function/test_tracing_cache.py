@@ -1,0 +1,276 @@
+"""The tracing JIT's concrete-function cache: hits, retraces, relaxation."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import framework as fw
+from repro.framework import ops
+
+
+def test_same_signature_traces_once():
+    @repro.function
+    def f(x, y):
+        return ops.matmul(x, y)
+
+    a = np.ones((2, 3), np.float32)
+    b = np.ones((3, 4), np.float32)
+    r1 = f(a, b)
+    r2 = f(a, b)
+    assert f.trace_count == 1
+    assert np.allclose(r1.numpy(), 3.0)
+    assert np.allclose(r2.numpy(), r1.numpy())
+
+
+def test_different_value_same_shape_is_cache_hit():
+    @repro.function
+    def f(x):
+        return x * 2.0
+
+    assert float(f(np.float32(3.0)).numpy()) == 6.0
+    assert float(f(np.float32(5.0)).numpy()) == 10.0
+    assert f.trace_count == 1
+
+
+def test_new_shape_retraces():
+    @repro.function
+    def f(x):
+        return ops.reduce_sum(x)
+
+    f(np.ones((2,), np.float32))
+    f(np.ones((3,), np.float32))
+    assert f.trace_count == 2
+    f(np.ones((2,), np.float32))  # back to the first signature: hit
+    assert f.trace_count == 2
+
+
+def test_new_dtype_retraces():
+    @repro.function
+    def f(x):
+        return x + x
+
+    f(np.ones((2,), np.float32))
+    f(np.ones((2,), np.int32))
+    assert f.trace_count == 2
+
+
+def test_python_constant_specialization():
+    @repro.function
+    def f(x, scale):
+        return x * scale
+
+    a = np.ones((2,), np.float32)
+    assert np.allclose(f(a, 2.0).numpy(), 2.0)
+    assert np.allclose(f(a, 3.0).numpy(), 3.0)
+    # Python scalars are baked into the trace: each value is a new graph.
+    assert f.trace_count == 2
+    # The baked constant really is a Const in the traced graph.
+    cf = f.get_concrete_function(a, 2.0)
+    assert len(cf.inputs) == 1
+
+
+def test_eager_tensor_and_ndarray_share_signature():
+    @repro.function
+    def f(x):
+        return x + 1.0
+
+    f(np.ones((2,), np.float32))
+    f(fw.EagerTensor(np.zeros((2,), np.float32)))
+    assert f.trace_count == 1
+
+
+def test_structure_is_part_of_the_key():
+    @repro.function
+    def f(pair):
+        return pair[0] + pair[1]
+
+    a = np.ones((2,), np.float32)
+    f((a, a))
+    f([a, a])  # list vs tuple: different structure, retrace
+    assert f.trace_count == 2
+
+
+def test_kwarg_and_positional_calls_share_signature():
+    @repro.function
+    def f(x, y):
+        return x - y
+
+    a = np.ones((2,), np.float32)
+    b = np.zeros((2,), np.float32)
+    f(a, b)
+    f(a, y=b)
+    f(x=a, y=b)
+    assert f.trace_count == 1
+
+
+def test_shape_relaxation_after_retrace_limit():
+    @repro.function(reduce_retracing=True, retrace_limit=3)
+    def f(x):
+        return ops.reduce_sum(x * 2.0)
+
+    for n in range(1, 8):
+        out = f(np.ones((n,), np.float32))
+        assert float(out.numpy()) == 2.0 * n
+    # 3 exact traces, then one relaxed trace serves every later shape.
+    assert f.trace_count == 4
+    relaxed = f.concrete_functions()[-1]
+    assert relaxed.structured_input_signature[0].shape.dims == (None,)
+
+
+def test_retrace_warning_without_relaxation():
+    @repro.function(retrace_limit=3)
+    def f(x):
+        return x + 1.0
+
+    with pytest.warns(UserWarning, match="traced 3 times"):
+        for n in range(1, 5):
+            f(np.ones((n,), np.float32))
+    assert f.trace_count == 4
+
+
+def test_get_concrete_function_from_values_and_specs():
+    @repro.function
+    def f(x):
+        return x * 3.0
+
+    cf1 = f.get_concrete_function(np.ones((4,), np.float32))
+    cf2 = f.get_concrete_function(repro.TensorSpec([4], fw.float32))
+    assert cf1 is cf2
+    assert f.trace_count == 1
+    out = cf1(np.full((4,), 2.0, np.float32))
+    assert np.allclose(out.numpy(), 6.0)
+
+
+def test_concrete_function_rejects_incompatible_shape():
+    @repro.function
+    def f(x):
+        return x * 3.0
+
+    cf = f.get_concrete_function(np.ones((4,), np.float32))
+    with pytest.raises(fw.StagingError):
+        cf(np.ones((5,), np.float32))
+
+
+def test_concrete_function_rejects_different_python_constant():
+    @repro.function
+    def f(x, scale):
+        return x * scale
+
+    a = np.ones((2,), np.float32)
+    cf = f.get_concrete_function(a, 2.0)
+    assert np.allclose(cf(a, 2.0).numpy(), 2.0)
+    # The constant was baked into this trace: a direct call with a
+    # different value must not silently reuse the 2.0 specialization.
+    with pytest.raises(fw.StagingError, match="specialized"):
+        cf(a, 3.0)
+
+
+def test_ndarray_dtype_is_preserved_not_narrowed():
+    @repro.function
+    def f(x):
+        return x + x
+
+    out64 = f(np.ones((2,), np.float64))
+    out32 = f(np.ones((2,), np.float32))
+    # Arrays keep their dtype (matching graph.constant): separate traces,
+    # separate precisions.
+    assert f.trace_count == 2
+    assert out64.numpy().dtype == np.float64
+    assert out32.numpy().dtype == np.float32
+    # And an EagerTensor wrapping the same data hits the ndarray's trace.
+    f(fw.EagerTensor(np.ones((2,), np.float64)))
+    assert f.trace_count == 2
+
+
+def test_data_dependent_control_flow_stages():
+    @repro.function
+    def f(x):
+        if ops.reduce_sum(x) > 0:
+            return x * 2.0
+        return x * -1.0
+
+    assert np.allclose(f(np.ones((2,), np.float32)).numpy(), 2.0)
+    assert np.allclose(f(np.full((2,), -1.0, np.float32)).numpy(), 1.0)
+    # Both branches run through ONE traced cond graph.
+    assert f.trace_count == 1
+
+
+def test_while_loop_stages_with_tensor_bound():
+    @repro.function
+    def total(n):
+        i = 0
+        acc = 0
+        while i < n:
+            acc = acc + i
+            i = i + 1
+        return acc
+
+    assert int(total(np.int32(10)).numpy()) == 45
+    assert int(total(np.int32(100)).numpy()) == 4950
+    assert total.trace_count == 1
+
+
+def test_nested_function_inlines_into_outer_trace():
+    @repro.function
+    def inner(a):
+        return a * 2.0
+
+    @repro.function
+    def outer(a):
+        return inner(a) + 1.0
+
+    assert float(outer(np.float32(3.0)).numpy()) == 7.0
+    assert outer.trace_count == 1
+    assert inner.trace_count == 0  # inlined, not separately traced
+
+
+def test_structured_and_python_outputs():
+    @repro.function
+    def f(x):
+        return {"double": x * 2.0, "tag": "ok", "pair": (x, 7)}
+
+    out = f(np.ones((2,), np.float32))
+    assert np.allclose(out["double"].numpy(), 2.0)
+    assert out["tag"] == "ok"
+    assert out["pair"][1] == 7
+    assert np.allclose(out["pair"][0].numpy(), 1.0)
+
+
+def test_method_decorator_binds_per_instance():
+    class Model:
+        def __init__(self, scale):
+            self.scale = np.float32(scale)
+
+        @repro.function
+        def apply(self, x):
+            return x * self.scale
+
+    m2, m3 = Model(2.0), Model(3.0)
+    assert float(m2.apply(np.float32(1.0)).numpy()) == 2.0
+    assert float(m3.apply(np.float32(1.0)).numpy()) == 3.0
+    # Instances key by identity: one trace each.
+    assert Model.apply.trace_count == 2
+
+
+def test_symbolic_argument_outside_graph_rejected():
+    @repro.function
+    def f(x):
+        return x
+
+    g = fw.Graph()
+    with g.as_default():
+        t = ops.constant(1.0)
+    with pytest.raises(fw.StagingError):
+        f(t)
+
+
+def test_trace_count_and_repr_diagnostics():
+    @repro.function
+    def f(x):
+        return x
+
+    f(np.ones((2,), np.float32))
+    f(np.ones((2, 2), np.float32))
+    assert f.cache_size == 2
+    assert "traces=2" in repr(f)
+    assert len(f.pretty_cache().splitlines()) == 2

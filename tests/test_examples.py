@@ -1,24 +1,31 @@
 """Smoke tests: every example script runs to completion (their internal
 asserts check correctness)."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
-)
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((_ROOT / "examples").glob("*.py"))
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=[e.stem for e in EXAMPLES])
 def test_example_runs(script):
+    # Subprocesses don't see pytest's `pythonpath` ini: put src/ on the
+    # path explicitly so examples import `repro` regardless of install.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
     result = subprocess.run(
         [sys.executable, str(script)],
         capture_output=True,
         text=True,
         timeout=600,
+        env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert "OK" in result.stdout or "Generated code" in result.stdout
