@@ -9,12 +9,28 @@ the numbers in EXPERIMENTS.md.
 from __future__ import annotations
 
 import collections
+import json
+import os
+import random
 
+import numpy as np
 import pytest
 
 _RESULTS = collections.defaultdict(dict)
 
 Cell = collections.namedtuple("Cell", ["value", "std", "unit"])
+
+# Benchmarks mostly construct seeded Generators, but anything reaching
+# for the global RNGs (library defaults, fixture-less helpers) must also
+# be reproducible run-to-run, or CI smoke numbers drift.
+_BENCH_SEED = 0x5EED
+
+
+@pytest.fixture(autouse=True)
+def _seed_global_rngs():
+    random.seed(_BENCH_SEED)
+    np.random.seed(_BENCH_SEED)
+    yield
 
 
 class ResultsRegistry:
@@ -33,9 +49,33 @@ def results():
     return ResultsRegistry()
 
 
+def _write_json_report(path):
+    """Machine-readable dump of every recorded cell (CI artifact)."""
+    report = {
+        table: [
+            {
+                "row": str(row),
+                "column": str(column),
+                "value": cell.value,
+                "std": cell.std,
+                "unit": cell.unit,
+            }
+            for (row, column), cell in sorted(
+                cells.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1])))
+        ]
+        for table, cells in sorted(_RESULTS.items())
+    }
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
 def pytest_sessionfinish(session, exitstatus):
     if not _RESULTS:
         return
+    json_path = os.environ.get("REPRO_BENCH_JSON")
+    if json_path:
+        _write_json_report(json_path)
     tw = session.config.get_terminal_writer() if hasattr(
         session.config, "get_terminal_writer") else None
 

@@ -58,8 +58,10 @@ def _tape_tree_prod(base, tree):
 
 
 @pytest.mark.parametrize("impl", ["define-by-run tape",
-                                  "AutoGraph/Lantern compiled"])
+                                  "AutoGraph/Lantern compiled",
+                                  "repro.function(backend=lantern)"])
 def test_sec8_tree_prod(benchmark, results, impl):
+    import repro
     from repro.framework import GradientTape, ops
 
     rng = np.random.default_rng(11)
@@ -75,15 +77,40 @@ def test_sec8_tree_prod(benchmark, results, impl):
     # The IR is real, inspectable S-expressions.
     assert "(call tree_prod" in program.to_string()
 
-    # Both implementations below compute value AND d/d(base): the staged
+    # All implementations below compute value AND d/d(base): the staged
     # CPS backward vs the define-by-run tape (Table 3's methodology on
-    # the paper's §8 example).
+    # the paper's §8 example), plus the multi-backend JIT path.
     if impl == "define-by-run tape":
         def run():
             base = ops.constant(1.0)
             with GradientTape() as tape:
                 tape.watch(base)
                 value = _tape_tree_prod(base, tree)
+            tape.gradient(value, base)
+            return value
+    elif impl == "repro.function(backend=lantern)":
+        # The JIT front door: dispatch stages the recursion to Lantern
+        # once and replays the compiled artifact + CPS gradient through
+        # the tape bridge on every call.
+        traced = repro.function(lantern.tree_prod, backend="lantern")
+        base = ops.constant(1.0)
+        with GradientTape() as tape:
+            tape.watch(base)
+            value = traced(base, tree)
+        grad = tape.gradient(value, base)
+        assert np.isclose(float(value.numpy()), _reference(1.0, tree),
+                          rtol=1e-6)
+        assert np.isclose(float(grad.numpy()), _reference_grad(1.0, tree),
+                          rtol=1e-3)
+        assert traced.trace_count == 1
+        (_, chosen, _), = traced.backend_decisions
+        assert chosen == "lantern"
+
+        def run():
+            base = ops.constant(1.0)
+            with GradientTape() as tape:
+                tape.watch(base)
+                value = traced(base, tree)
             tape.gradient(value, base)
             return value
     else:

@@ -23,7 +23,32 @@ from ..errors import GraphError
 from ..graph.func_graph import FuncGraph
 from ..graph.graph import Graph, Tensor
 
-__all__ = ["run_op", "is_symbolic", "is_tensor", "as_graph_tensor", "convert_to_tensor"]
+__all__ = ["run_op", "is_symbolic", "is_tensor", "as_graph_tensor",
+           "convert_to_tensor", "register_staging_hook",
+           "unregister_staging_hook", "NOT_HANDLED"]
+
+# ---------------------------------------------------------------------------
+# Alternate-backend staging hooks (paper §8).
+#
+# A hook is ``hook(op_type, inputs, attrs) -> result | NOT_HANDLED``.  An
+# active alternate backend (the Lantern Stager) registers one so that
+# *framework* ops called on its staged values emit backend IR instead of
+# graph nodes / eager kernels — the op API stays backend-agnostic.
+# ---------------------------------------------------------------------------
+
+NOT_HANDLED = object()
+_STAGING_HOOKS = []
+
+
+def register_staging_hook(hook):
+    """Register an op-level staging hook (consulted before any mode)."""
+    if hook not in _STAGING_HOOKS:
+        _STAGING_HOOKS.append(hook)
+
+
+def unregister_staging_hook(hook):
+    if hook in _STAGING_HOOKS:
+        _STAGING_HOOKS.remove(hook)
 
 
 def is_symbolic(value):
@@ -100,6 +125,12 @@ def run_op(op_type, inputs, attrs=None, name=None):
     """Build or execute ``op_type`` depending on the current mode."""
     attrs = attrs or {}
     from ..graph.variables import Variable
+
+    if _STAGING_HOOKS:
+        for hook in _STAGING_HOOKS:
+            result = hook(op_type, inputs, attrs)
+            if result is not NOT_HANDLED:
+                return result
 
     if context.has_default_graph():
         graph = context.get_default_graph()

@@ -23,4 +23,15 @@ from .concrete_function import ConcreteFunction
 from .function import Function, function
 from .tensor_spec import TensorSpec
 
-__all__ = ["ConcreteFunction", "Function", "TensorSpec", "function"]
+__all__ = ["ConcreteFunction", "Function", "LanternConcreteFunction",
+           "TensorSpec", "function"]
+
+
+def __getattr__(name):
+    # Deferred: importing the lantern lowering stack (compiler, staging,
+    # IR) should cost nothing until a lantern backend is actually used.
+    if name == "LanternConcreteFunction":
+        from .lowering import LanternConcreteFunction
+
+        return LanternConcreteFunction
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

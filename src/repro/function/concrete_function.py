@@ -36,7 +36,8 @@ from ..framework.graph.session import Session
 from ..framework.graph.variables import Variable
 from . import signature as signature_lib
 
-__all__ = ["ConcreteFunction", "trace_concrete_function"]
+__all__ = ["ConcreteFunction", "trace_concrete_function",
+           "trace_func_graph", "classify_outputs"]
 
 
 class _FunctionOpDef:
@@ -73,6 +74,68 @@ def _convert_for_trace(python_function, autograph):
     return python_function
 
 
+def trace_func_graph(python_function, canonical, name, autograph=True):
+    """Run one AutoGraph trace of ``python_function`` into a FuncGraph.
+
+    The tensor leaves of the canonical signature become placeholders; the
+    converted function runs symbolically against them.  Shared by the
+    graph backend (below) and the Lantern graph-translate route
+    (:mod:`repro.function.lowering`).
+
+    Returns:
+      ``(func_graph, placeholders, result)`` — the traced graph, its
+      input placeholders, and the function's structured return value.
+    """
+    fg = FuncGraph(f"{name}_graph", outer_graph=None)
+    converted = _convert_for_trace(python_function, autograph)
+    with fg.as_default():
+        placeholders = [
+            fg.add_input(spec.dtype, spec.shape,
+                         name=spec.name or f"arg_{i}")
+            for i, spec in enumerate(canonical.specs)
+        ]
+        flat = list(canonical.flat_leaves)
+        for idx, ph in zip(canonical.tensor_indices, placeholders):
+            flat[idx] = ph
+        call_args, call_kwargs = nest.pack_sequence_as(
+            canonical.structure, flat)
+        result = converted(*call_args, **call_kwargs)
+
+    # Variables created during the trace get their initial value now,
+    # so the session kernels (which read live state) can run.
+    for v in fg.get_collection("variables"):
+        v.initialize()
+    return fg, placeholders, result
+
+
+def classify_outputs(fg, result, name):
+    """Split a traced return value into tensor outputs and constants.
+
+    Returns:
+      ``(output_template, tensor_outs)`` — the template is a flat list of
+      ``("t", index)`` / ``("c", value)`` leaves matching
+      ``nest.flatten(result)``; tensor_outs are the graph tensors.
+    """
+    flat_out = nest.flatten(result)
+    tensor_outs = []
+    output_template = []
+    for leaf in flat_out:
+        if isinstance(leaf, Variable):
+            with fg.as_default():
+                leaf = leaf.value()
+        if isinstance(leaf, Tensor):
+            if leaf.graph is not fg:
+                raise StagingError(
+                    f"Traced function {name!r} returned tensor "
+                    f"{leaf.name!r} from a foreign graph"
+                )
+            output_template.append(("t", len(tensor_outs)))
+            tensor_outs.append(leaf)
+        else:
+            output_template.append(("c", leaf))
+    return output_template, tensor_outs
+
+
 def _reachable_ops(roots):
     seen = set()
     stack = [t.op for t in roots]
@@ -93,6 +156,8 @@ def _reachable_ops(roots):
 class ConcreteFunction:
     """A single traced signature of a :class:`~repro.function.Function`."""
 
+    backend = "graph"
+
     def __init__(self, python_function, canonical, name,
                  autograph=True, optimize=True):
         self._python_function = python_function
@@ -103,44 +168,12 @@ class ConcreteFunction:
         self._backward = None
 
         # -- 1. trace -------------------------------------------------------
-        fg = FuncGraph(f"{name}_graph", outer_graph=None)
-        converted = _convert_for_trace(python_function, autograph)
-        with fg.as_default():
-            placeholders = [
-                fg.add_input(spec.dtype, spec.shape,
-                             name=spec.name or f"arg_{i}")
-                for i, spec in enumerate(canonical.specs)
-            ]
-            flat = list(canonical.flat_leaves)
-            for idx, ph in zip(canonical.tensor_indices, placeholders):
-                flat[idx] = ph
-            call_args, call_kwargs = nest.pack_sequence_as(
-                canonical.structure, flat)
-            result = converted(*call_args, **call_kwargs)
-
-        # Variables created during the trace get their initial value now,
-        # so the session kernels (which read live state) can run.
-        for v in fg.get_collection("variables"):
-            v.initialize()
+        fg, placeholders, result = trace_func_graph(
+            python_function, canonical, name, autograph=autograph)
 
         # -- classify structured outputs -----------------------------------
-        flat_out = nest.flatten(result)
-        tensor_outs = []
-        self._output_template = []
-        for leaf in flat_out:
-            if isinstance(leaf, Variable):
-                with fg.as_default():
-                    leaf = leaf.value()
-            if isinstance(leaf, Tensor):
-                if leaf.graph is not fg:
-                    raise StagingError(
-                        f"Traced function {name!r} returned tensor "
-                        f"{leaf.name!r} from a foreign graph"
-                    )
-                self._output_template.append(("t", len(tensor_outs)))
-                tensor_outs.append(leaf)
-            else:
-                self._output_template.append(("c", leaf))
+        self._output_template, tensor_outs = classify_outputs(
+            fg, result, name)
         self._output_structure = result
         fg.flat_outputs = list(tensor_outs)
         self.graph = fg

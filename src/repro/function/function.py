@@ -30,11 +30,15 @@ from .concrete_function import ConcreteFunction, trace_concrete_function
 __all__ = ["Function", "function"]
 
 
+_BACKENDS = ("graph", "lantern", "auto")
+
+
 class Function:
     """A callable managing one concrete function per input signature."""
 
     def __init__(self, python_function, name=None, autograph=True,
-                 optimize=True, reduce_retracing=False, retrace_limit=8):
+                 optimize=True, reduce_retracing=False, retrace_limit=8,
+                 backend="graph"):
         original = getattr(python_function, "__ag_original__", None)
         if original is not None:
             python_function = original
@@ -43,12 +47,22 @@ class Function:
                 f"repro.function requires a callable, got "
                 f"{type(python_function).__name__}"
             )
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"Unknown repro.function backend {backend!r}; expected one "
+                f"of {_BACKENDS}"
+            )
         self._python_function = python_function
         self._name = name or getattr(python_function, "__name__", "fn")
         self._autograph = autograph
         self._optimize = optimize
         self._reduce_retracing = reduce_retracing
         self._retrace_limit = retrace_limit
+        self._backend = backend
+        # Lazily computed static-recursion verdict (auto dispatch).
+        self._recursive = None
+        # (concrete-function name, backend, reason) per trace, newest last.
+        self._backend_decisions = []
 
         self._py_signature = signature_lib.signature_of(python_function)
         self._cache = {}
@@ -76,8 +90,18 @@ class Function:
     def cache_size(self):
         return len(self._cache)
 
+    @property
+    def backend(self):
+        """The configured backend ('graph', 'lantern' or 'auto')."""
+        return self._backend
+
+    @property
+    def backend_decisions(self):
+        """Per-trace dispatch log: (concrete name, backend, reason)."""
+        return list(self._backend_decisions)
+
     def concrete_functions(self):
-        """All cached :class:`ConcreteFunction`s, oldest first."""
+        """All cached concrete functions, oldest first."""
         return list(self._cache.values())
 
     def pretty_cache(self):
@@ -85,12 +109,26 @@ class Function:
         lines = []
         for cf in self._cache.values():
             specs = ", ".join(repr(s) for s in cf.structured_input_signature)
-            lines.append(f"{cf.name}({specs})")
+            lines.append(f"{cf.name}[{cf.backend}]({specs})")
         return "\n".join(lines)
+
+    # -- backend dispatch ------------------------------------------------------
+
+    def _resolve_backend(self, canonical):
+        """Pick the backend for this signature (and say why)."""
+        if self._backend != "auto":
+            return self._backend, "configured"
+        from . import lowering
+
+        return lowering.choose_backend(
+            self._python_function, canonical, recursive=self._is_recursive())
 
     # -- the cache ------------------------------------------------------------
 
     def _lookup_or_trace(self, canonical):
+        backend, reason = self._resolve_backend(canonical)
+        if backend == "lantern":
+            return self._lookup_or_lower(canonical, reason)
         cf = self._cache.get(canonical.key)
         if cf is not None:
             return cf, canonical
@@ -130,12 +168,56 @@ class Function:
             # alive while the cache entry exists, or their recycled ids
             # could alias a different object to this trace.
             self._keepalive.extend(canonical.keepalive)
+            self._backend_decisions.append((cf.name, "graph", reason))
             return cf, canonical
+
+    def _lookup_or_lower(self, canonical, reason):
+        """The lantern arm of the cache: lower (once) instead of tracing."""
+        from . import lowering
+
+        lantern_canonical, leaf_plan = lowering.lanternize_signature(canonical)
+        cf = self._cache.get(lantern_canonical.key)
+        if cf is not None:
+            return cf, lantern_canonical
+        with self._lock:
+            cf = self._cache.get(lantern_canonical.key)
+            if cf is not None:
+                return cf, lantern_canonical
+            cf = lowering.LanternConcreteFunction(
+                self._python_function, lantern_canonical, leaf_plan,
+                f"{self._name}_{len(self._cache)}",
+                autograph=self._autograph, optimize=self._optimize,
+            )
+            self._cache[lantern_canonical.key] = cf
+            self._keepalive.extend(lantern_canonical.keepalive)
+            self._backend_decisions.append((cf.name, "lantern", reason))
+            return cf, lantern_canonical
 
     # -- calling ---------------------------------------------------------------
 
+    def _is_recursive(self):
+        if self._recursive is None:
+            from . import lowering
+
+            self._recursive = lowering.detect_self_recursion(
+                self._python_function)
+        return self._recursive
+
     def __call__(self, *args, **kwargs):
         if context.has_default_graph():
+            # Lantern-bound functions cannot inline into a graph trace —
+            # including auto-dispatched recursive ones, which would
+            # otherwise unroll against a symbolic condition forever.
+            if self._backend == "lantern" or (
+                    self._backend == "auto" and self._is_recursive()):
+                from ..framework.errors import StagingError
+
+                raise StagingError(
+                    f"repro.function {self._name!r} targets the Lantern "
+                    "backend (recursion stages as re-entrant IR calls) and "
+                    "cannot be inlined into an enclosing graph trace; call "
+                    "it outside the graph or use backend='graph'"
+                )
             return self._inline_symbolic(args, kwargs)
         canonical = signature_lib.canonicalize(self._py_signature, args, kwargs)
         cf, canonical = self._lookup_or_trace(canonical)
@@ -185,7 +267,7 @@ Function.get_concrete_function.__ag_do_not_convert__ = True
 
 
 def function(func=None, *, name=None, autograph=True, optimize=True,
-             reduce_retracing=False, retrace_limit=8):
+             reduce_retracing=False, retrace_limit=8, backend="graph"):
     """Decorate ``func`` as a traced, cached graph function.
 
     Usable bare (``@repro.function``), with options
@@ -201,6 +283,11 @@ def function(func=None, *, name=None, autograph=True, optimize=True,
       reduce_retracing: after ``retrace_limit`` traces, relax tensor
         shapes instead of minting one graph per shape.
       retrace_limit: trace budget before relaxing (or warning).
+      backend: ``'graph'`` (trace → optimized graph → Session plan),
+        ``'lantern'`` (trace/stage → §8 S-expression IR → compiled code
+        with CPS gradients; supports recursion and runtime trees), or
+        ``'auto'`` (recursion or tree arguments pick lantern, anything
+        else picks graph).
 
     Returns:
       A :class:`Function`, or a decorator when called with options only.
@@ -208,7 +295,9 @@ def function(func=None, *, name=None, autograph=True, optimize=True,
     if func is None:
         return functools.partial(
             function, name=name, autograph=autograph, optimize=optimize,
-            reduce_retracing=reduce_retracing, retrace_limit=retrace_limit)
+            reduce_retracing=reduce_retracing, retrace_limit=retrace_limit,
+            backend=backend)
     return Function(
         func, name=name, autograph=autograph, optimize=optimize,
-        reduce_retracing=reduce_retracing, retrace_limit=retrace_limit)
+        reduce_retracing=reduce_retracing, retrace_limit=retrace_limit,
+        backend=backend)

@@ -19,9 +19,15 @@ from .ir import (
     StagedTree,
     StagedValue,
 )
+from .lowering import (
+    GRAPH_TO_LANTERN,
+    LanternLoweringError,
+    lower_graph,
+    lower_op_call,
+)
 from .models import LanternTreeLSTM, stage_tree_prod, tree_prod
 from .sexpr import Sym, format_sexpr, parse_sexpr
-from .staging import Stager
+from .staging import ReentrantStagingError, StagedArityError, Stager
 from . import ops
 
 __all__ = [
@@ -44,4 +50,10 @@ __all__ = [
     "format_sexpr",
     "parse_sexpr",
     "ops",
+    "GRAPH_TO_LANTERN",
+    "LanternLoweringError",
+    "lower_graph",
+    "lower_op_call",
+    "ReentrantStagingError",
+    "StagedArityError",
 ]

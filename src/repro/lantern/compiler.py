@@ -72,9 +72,15 @@ _FWD = {
     "relu": "np.maximum({0}, 0.0)",
     "exp": "np.exp({0})",
     "log": "np.log({0})",
+    "sqrt": "np.sqrt({0})",
+    "square": "np.square({0})",
+    "abs": "np.abs({0})",
+    "transpose": "np.transpose({0})",
+    "maximum": "np.maximum({0}, {1})",
     "matmul": "{0} @ {1}",
     "concat1": "np.concatenate(({0}, {1}), axis=1)",
     "sum": "np.sum({0})",
+    "mean": "np.mean({0})",
     "xent": "_xent({0}, {1})",
     "not": "not {0}",
 }
@@ -326,6 +332,17 @@ class _FunctionCompiler:
             grads.accum(emitter, indent, a, f"{g} * {out}")
         elif op == "log":
             grads.accum(emitter, indent, a, f"{g} / {a}")
+        elif op == "sqrt":
+            grads.accum(emitter, indent, a, f"{g} * 0.5 / {out}")
+        elif op == "square":
+            grads.accum(emitter, indent, a, f"{g} * 2.0 * {a}")
+        elif op == "abs":
+            grads.accum(emitter, indent, a, f"{g} * np.sign({a})")
+        elif op == "transpose":
+            grads.accum(emitter, indent, a, f"np.transpose({g})")
+        elif op == "maximum":
+            grads.accum(emitter, indent, a, f"{g} * ({a} >= {b})")
+            grads.accum(emitter, indent, b, f"{g} * ({a} < {b})")
         elif op == "matmul":
             grads.accum(emitter, indent, a, f"{g} @ np.transpose({b})")
             grads.accum(emitter, indent, b, f"np.transpose({a}) @ {g}")
@@ -335,6 +352,10 @@ class _FunctionCompiler:
             grads.accum(emitter, indent, b, f"({g})[:, {split}:]")
         elif op == "sum":
             grads.accum(emitter, indent, a, f"{g} * np.ones_like({a})")
+        elif op == "mean":
+            grads.accum(
+                emitter, indent, a,
+                f"{g} * np.ones_like({a}) / np.size({a})")
         elif op == "xent":
             tmp = f"_sm{self._fresh_idx()}"
             emitter.emit(indent, f"{tmp} = _softmax({a})")
@@ -423,7 +444,9 @@ def compile_program(program, params=None, with_grad=True):
 
     Args:
       program: the traced IR.
-      params: dict name -> Param (or ndarray) for ``param`` instructions.
+      params: dict name -> Param (or ndarray) for ``param`` instructions;
+        merged over the Params the Builder registered on the program while
+        staging (``program.params``).
       with_grad: also generate the continuation-based backward pass.
 
     Returns:
@@ -431,7 +454,9 @@ def compile_program(program, params=None, with_grad=True):
     """
     if not isinstance(program, Program):
         raise TypeError("compile_program expects a lantern.ir.Program")
-    params = params or {}
+    merged = dict(getattr(program, "params", {}))
+    merged.update(params or {})
+    params = merged
     from .ir import Param
 
     param_objs = {

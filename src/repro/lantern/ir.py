@@ -45,9 +45,15 @@ OPS = {
     "relu": 1,
     "exp": 1,
     "log": 1,
+    "sqrt": 1,
+    "square": 1,
+    "abs": 1,
+    "transpose": 1,
+    "maximum": 2,
     "matmul": 2,
     "concat1": 2,   # concat along axis 1
     "sum": 1,
+    "mean": 1,
     "xent": 2,      # sparse softmax cross entropy: (logits, label) -> scalar
 }
 
@@ -229,11 +235,15 @@ class FunctionDef:
 
 
 class Program:
-    """A set of staged functions plus the constant pool."""
+    """A set of staged functions plus the constant and parameter pools."""
 
     def __init__(self):
         self.functions = {}
         self.consts = {}
+        # name -> Param, registered as ``param`` instructions are emitted,
+        # so callers can compile without hand-collecting the closure's
+        # parameters.
+        self.params = {}
 
     def to_sexpr(self):
         return (Sym("program"), *[f.to_sexpr() for f in self.functions.values()])
@@ -277,6 +287,15 @@ class Builder:
             return self.emit_param(value)
         if isinstance(value, (int, float, np.ndarray, np.generic)):
             return self.emit_const(value)
+        # AutoGraph models a branch that never assigns/returns a symbol
+        # as an Undefined sentinel; surface the fix instead of the type.
+        if any(k.__name__ == "Undefined" for k in type(value).__mro__):
+            raise TypeError(
+                "A staged Lantern conditional leaves a value undefined in "
+                "one branch (e.g. an early `return` inside `if` with no "
+                "`else`); both branches must produce the same values — "
+                "write `if ...: ... else: ...` with one return per branch"
+            )
         raise TypeError(f"Cannot stage value of type {type(value).__name__}")
 
     def emit(self, op_name, *args):
@@ -297,6 +316,12 @@ class Builder:
         return StagedTensor(out, self)
 
     def emit_param(self, param):
+        existing = self.program.params.setdefault(param.name, param)
+        if existing is not param:
+            raise ValueError(
+                f"Two distinct Params named {param.name!r} were staged into "
+                "one program; parameter names must be unique"
+            )
         out = self.fresh("p")
         self.current_block.instructions.append(("param", out, param.name))
         return StagedTensor(out, self)

@@ -1,0 +1,194 @@
+"""Graph-IR → Lantern lowering (paper §8: one front-end, many backends).
+
+Two public surfaces:
+
+- :func:`lower_graph` — a Builder-level translator that walks a traced
+  (usually optimized) :class:`~repro.framework.graph.graph.Graph` and
+  re-emits it as one Lantern :class:`~repro.lantern.ir.FunctionDef`, so a
+  ``@repro.function`` trace can compile to the S-expression backend with
+  continuation-based gradients instead of a ``Session`` plan;
+- :func:`lower_op_call` — a per-op translator used by the
+  :class:`~repro.lantern.staging.Stager`'s framework dispatch hook, so
+  *framework* ops (``ops.multiply`` …) called on staged Lantern values
+  during direct staging emit IR instructions — the same user code stages
+  into either backend.
+
+Ops without a Lantern equivalent raise :class:`LanternLoweringError`, an
+:class:`~repro.framework.errors.ExecutionError` naming the offending op.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework.errors import ExecutionError
+
+from .ir import Builder, FunctionDef, Program, StagedValue
+
+__all__ = ["GRAPH_TO_LANTERN", "LanternLoweringError", "lower_graph",
+           "lower_op_call"]
+
+
+class LanternLoweringError(ExecutionError):
+    """A graph op has no Lantern equivalent (or unsupported attributes)."""
+
+
+class StagedValueRef(StagedValue):
+    """A lightweight staged handle for an already-emitted symbol."""
+
+    __slots__ = ()
+
+
+# Graph op type -> Lantern primitive with identical semantics.
+GRAPH_TO_LANTERN = {
+    "Add": "add",
+    "Sub": "sub",
+    "Mul": "mul",
+    "Div": "div",
+    "Neg": "neg",
+    "Tanh": "tanh",
+    "Sigmoid": "sigmoid",
+    "Relu": "relu",
+    "Exp": "exp",
+    "Log": "log",
+    "Sqrt": "sqrt",
+    "Square": "square",
+    "Abs": "abs",
+    "Maximum": "maximum",
+    "Transpose": "transpose",
+}
+
+# Reductions lower only in their whole-tensor form (axis=None, no
+# keepdims): Lantern reductions produce scalars.
+_REDUCTIONS = {"Sum": "sum", "Mean": "mean"}
+
+
+def _unsupported(op_type, detail=""):
+    suffix = f" ({detail})" if detail else ""
+    return LanternLoweringError(
+        f"Graph op {op_type!r} has no Lantern (S-expression backend) "
+        f"equivalent{suffix}; supported ops: "
+        f"{sorted(GRAPH_TO_LANTERN) + sorted(_REDUCTIONS)}. "
+        "Use backend='graph' for this function.",
+        op_name=op_type,
+    )
+
+
+def _emit_simple(builder, op_type, args, attrs):
+    """Emit one translated op; ``args`` are staged values/convertibles."""
+    attrs = attrs or {}
+    if op_type in _REDUCTIONS:
+        if attrs.get("axis") is not None or attrs.get("keepdims"):
+            raise _unsupported(
+                op_type, "only full reductions, axis=None and keepdims=False")
+        return builder.emit(_REDUCTIONS[op_type], args[0])
+    if op_type == "MatMul":
+        a, b = args
+        if attrs.get("transpose_a"):
+            a = builder.emit("transpose", a)
+        if attrs.get("transpose_b"):
+            b = builder.emit("transpose", b)
+        return builder.emit("matmul", a, b)
+    if op_type == "Concat":
+        if len(args) != 2 or attrs.get("axis") != 1:
+            raise _unsupported(
+                op_type, "only two-way concatenation along axis 1")
+        return builder.emit("concat1", *args)
+    if op_type == "Transpose" and attrs.get("perm") is not None:
+        raise _unsupported(
+            op_type, "only the default full axis reversal, perm=None")
+    lantern_op = GRAPH_TO_LANTERN.get(op_type)
+    if lantern_op is None:
+        raise _unsupported(op_type)
+    return builder.emit(lantern_op, *args)
+
+
+def lower_op_call(builder, op_type, inputs, attrs):
+    """Translate one framework-op call on staged values into the IR.
+
+    This is the dispatch-hook path: the Stager routes framework ops whose
+    inputs are staged Lantern values here, unwrapping eager tensors and
+    Params so mixed-mode arguments stage as constants/parameters.
+    """
+    from repro.framework.eager.tensor import EagerTensor
+
+    args = []
+    for value in inputs:
+        if isinstance(value, EagerTensor):
+            value = value.numpy()
+        args.append(value)
+    return _emit_simple(builder, op_type, args, attrs)
+
+
+def lower_graph(graph, inputs, outputs, *, name="main", program=None,
+                builder=None):
+    """Translate a traced graph into a Lantern function, via a Builder.
+
+    Args:
+      graph: the (optimized) Graph/FuncGraph to translate.
+      inputs: placeholder tensors that become the function's parameters.
+      outputs: graph tensors that become the function's results.
+      name: IR function name.
+      program/builder: optional existing Program/Builder to lower into.
+
+    Returns:
+      ``(program, fdef)`` — the Program and the new FunctionDef.
+
+    Raises:
+      LanternLoweringError: an op in the graph has no Lantern equivalent.
+    """
+    if not outputs:
+        raise LanternLoweringError(
+            f"Cannot lower {name!r}: a Lantern function needs at least one "
+            "output tensor"
+        )
+    program = program if program is not None else Program()
+    builder = builder if builder is not None else Builder(program)
+
+    param_syms = [builder.fresh(f"a_{name}_") for _ in inputs]
+    fdef = FunctionDef(name, param_syms, ["tensor"] * len(inputs),
+                       len(outputs))
+    program.functions[name] = fdef
+    builder.push_block(fdef.block)
+    try:
+        env = {}
+        for ph, sym in zip(inputs, param_syms):
+            env[id(ph)] = sym
+
+        def staged_in(tensor):
+            sym = env.get(id(tensor))
+            if sym is None:
+                raise LanternLoweringError(
+                    f"Tensor {tensor.name!r} reached lowering before its "
+                    "producer; the op list is not topologically ordered"
+                )
+            return StagedValueRef(sym, builder)
+
+        for op in graph.ops:
+            if op.type == "Placeholder":
+                if id(op.outputs[0]) not in env:
+                    raise _unsupported(
+                        "Placeholder",
+                        f"placeholder {op.name!r} is not a declared input")
+                continue
+            if op.type == "Const":
+                value = np.asarray(op.attrs["value"])
+                staged = builder.emit_const(
+                    float(value) if value.ndim == 0 else value)
+                env[id(op.outputs[0])] = staged.sym
+                continue
+            if op.type == "Identity":
+                env[id(op.outputs[0])] = env[id(op.inputs[0])]
+                continue
+            args = [staged_in(t) for t in op.inputs]
+            staged = _emit_simple(builder, op.type, args, op.attrs)
+            env[id(op.outputs[0])] = staged.sym
+
+        missing = [t.name for t in outputs if id(t) not in env]
+        if missing:
+            raise LanternLoweringError(
+                f"Outputs {missing} were not produced by the lowered graph")
+        fdef.block.result_syms = tuple(env[id(t)] for t in outputs)
+    finally:
+        builder.pop_block()
+    return program, fdef

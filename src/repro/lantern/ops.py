@@ -11,8 +11,9 @@ import numpy as np
 
 from .ir import Param, StagedTensor, StagedValue
 
-__all__ = ["tanh", "sigmoid", "relu", "exp", "log", "matmul", "concat1",
-           "sum_", "xent", "numpy_kernels"]
+__all__ = ["tanh", "sigmoid", "relu", "exp", "log", "sqrt", "square",
+           "abs_", "transpose", "maximum", "matmul", "concat1", "sum_",
+           "mean", "xent", "numpy_kernels"]
 
 
 def _np_sigmoid(x):
@@ -42,9 +43,15 @@ numpy_kernels = {
     "relu": lambda a: np.maximum(a, 0.0),
     "exp": np.exp,
     "log": np.log,
+    "sqrt": np.sqrt,
+    "square": np.square,
+    "abs": np.abs,
+    "transpose": np.transpose,
+    "maximum": lambda a, b: np.maximum(a, b),
     "matmul": lambda a, b: a @ b,
     "concat1": lambda a, b: np.concatenate((a, b), axis=1),
     "sum": lambda a: np.sum(a),
+    "mean": lambda a: np.mean(a),
     "xent": _np_xent,
 }
 
@@ -83,6 +90,33 @@ def exp(x):
 
 def log(x):
     return _dispatch("log", x)
+
+
+def sqrt(x):
+    return _dispatch("sqrt", x)
+
+
+def square(x):
+    return _dispatch("square", x)
+
+
+def abs_(x):
+    return _dispatch("abs", x)
+
+
+def transpose(x):
+    """Matrix transpose."""
+    return _dispatch("transpose", x)
+
+
+def maximum(a, b):
+    """Elementwise maximum."""
+    return _dispatch("maximum", a, b)
+
+
+def mean(x):
+    """Mean over all elements, to a scalar."""
+    return _dispatch("mean", x)
 
 
 def matmul(a, b):

@@ -1,0 +1,212 @@
+"""Graph→Lantern lowering, new IR ops, and S-expression round-tripping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import lantern
+from repro.framework.graph.graph import Graph
+from repro.lantern import compiler, ir, ops as lt, sexpr
+from repro.lantern.lowering import (
+    GRAPH_TO_LANTERN,
+    LanternLoweringError,
+    lower_graph,
+)
+
+# ---------------------------------------------------------------------------
+# S-expression round-tripping (parse ∘ format == identity)
+# ---------------------------------------------------------------------------
+
+_atoms = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-1e6, max_value=1e6).map(
+        # repr/parse round-trips floats; integers-as-floats parse back
+        # as ints, so keep a fractional part.
+        lambda f: f + 0.5),
+    st.text(alphabet=st.characters(
+        whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=0x7F),
+        min_size=0, max_size=8),
+    st.text(alphabet="abcdefgxyz_-+*/?.", min_size=1, max_size=10).filter(
+        lambda s: not _parses_numeric(s)).map(sexpr.Sym),
+)
+
+
+def _parses_numeric(token):
+    for cast in (int, float):
+        try:
+            cast(token)
+            return True
+        except ValueError:
+            pass
+    return False
+
+
+_sexprs = st.recursive(
+    _atoms, lambda children: st.tuples(children, children, children),
+    max_leaves=20)
+
+
+class TestSexprRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(_sexprs)
+    def test_parse_format_roundtrip(self, expr):
+        assert sexpr.parse_sexpr(sexpr.format_sexpr(expr)) == expr
+
+    def test_roundtrip_real_program(self):
+        _, program, _ = lantern.stage_tree_prod()
+        text = program.to_string()
+        assert sexpr.format_sexpr(sexpr.parse_sexpr(text)) == text
+
+    def test_escaped_strings_roundtrip(self):
+        expr = (sexpr.Sym("f"), 'say "hi"', 1, 2.5)
+        assert sexpr.parse_sexpr(sexpr.format_sexpr(expr)) == expr
+
+
+# ---------------------------------------------------------------------------
+# New IR primitives: forward + CPS adjoints
+# ---------------------------------------------------------------------------
+
+
+class TestNewOps:
+    @pytest.mark.parametrize("name,fn,np_fn", [
+        ("sqrt", lt.sqrt, np.sqrt),
+        ("square", lt.square, np.square),
+        ("abs", lt.abs_, np.abs),
+        ("mean", lt.mean, np.mean),
+    ])
+    def test_numpy_mode(self, name, fn, np_fn):
+        x = np.asarray([[1.0, 4.0]], np.float32)
+        assert np.allclose(fn(x), np_fn(x))
+
+    def test_transpose_and_maximum_numpy(self):
+        x = np.arange(6, dtype=np.float32).reshape(2, 3)
+        assert lt.transpose(x).shape == (3, 2)
+        assert np.allclose(lt.maximum(x, 3.0), np.maximum(x, 3.0))
+
+    @pytest.mark.parametrize("op,np_ref,dref", [
+        ("sqrt", np.sqrt, lambda x: 0.5 / np.sqrt(x)),
+        ("square", np.square, lambda x: 2.0 * x),
+        ("abs", np.abs, np.sign),
+        ("mean", np.mean, lambda x: np.ones_like(x) / x.size),
+        ("sum", np.sum, np.ones_like),
+    ])
+    def test_adjoints_match_analytic(self, op, np_ref, dref):
+        program = ir.Program()
+        b = ir.Builder(program)
+        fdef = ir.FunctionDef("f", ["x"], ["tensor"], 1)
+        program.functions["f"] = fdef
+        b.push_block(fdef.block)
+        out = b.emit(op, ir.StagedTensor("x", b))
+        fdef.block.result_syms = (out.sym,)
+        b.pop_block()
+        compiled = compiler.compile_program(program)
+        x = np.asarray([[0.7, 2.3]], np.float32)
+        value, bwd = compiled.namespace["f"](x)
+        assert np.allclose(value, np_ref(x), atol=1e-6)
+        (dx,) = bwd(1.0)
+        assert np.allclose(dx, dref(x), atol=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# lower_graph: graph IR -> lantern IR
+# ---------------------------------------------------------------------------
+
+
+def _build_graph(build):
+    g = Graph("t")
+    with g.as_default():
+        out = build(g)
+    return g, out
+
+
+class TestLowerGraph:
+    def test_arith_chain_matches_session_semantics(self):
+        g = Graph("t")
+        with g.as_default():
+            a = g.placeholder("float32", (), name="a")
+            two = g.constant(2.0)
+            prod = g.create_op("Mul", [a, two], {}).outputs[0]
+            out = g.create_op("Tanh", [prod], {}).outputs[0]
+        program, fdef = lower_graph(g, [a], [out], name="f")
+        compiled = compiler.compile_program(program)
+        value, bwd = compiled.namespace["f"](0.5)
+        assert np.isclose(value, np.tanh(1.0))
+        (da,) = bwd(1.0)
+        assert np.isclose(da, 2.0 * (1.0 - np.tanh(1.0) ** 2))
+
+    def test_matmul_transpose_attrs(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 2)).astype(np.float32)
+        w = rng.normal(size=(3, 4)).astype(np.float32)
+        g = Graph("t")
+        with g.as_default():
+            pa = g.placeholder("float32", (3, 2), name="x")
+            pb = g.placeholder("float32", (3, 4), name="w")
+            out = g.create_op(
+                "MatMul", [pa, pb], {"transpose_a": True}).outputs[0]
+        program, _ = lower_graph(g, [pa, pb], [out], name="f")
+        compiled = compiler.compile_program(program, with_grad=False)
+        got = compiled.run("f", x, w)
+        assert np.allclose(got, x.T @ w, atol=1e-6)
+
+    def test_identity_passthrough(self):
+        g = Graph("t")
+        with g.as_default():
+            a = g.placeholder("float32", (), name="a")
+            ident = g.create_op("Identity", [a], {}).outputs[0]
+            out = g.create_op("Neg", [ident], {}).outputs[0]
+        program, _ = lower_graph(g, [a], [out], name="f")
+        compiled = compiler.compile_program(program, with_grad=False)
+        assert compiled.run("f", 3.0) == -3.0
+
+    def test_unsupported_op_raises(self):
+        g = Graph("t")
+        with g.as_default():
+            a = g.placeholder("float32", (), name="a")
+            out = g.create_op("Floor", [a], {}).outputs[0]
+        with pytest.raises(LanternLoweringError, match="Floor"):
+            lower_graph(g, [a], [out], name="f")
+
+    def test_axis_reduction_unsupported(self):
+        g = Graph("t")
+        with g.as_default():
+            a = g.placeholder("float32", (2, 3), name="a")
+            out = g.create_op("Sum", [a], {"axis": 1}).outputs[0]
+        with pytest.raises(LanternLoweringError, match="full reductions"):
+            lower_graph(g, [a], [out], name="f")
+
+    def test_error_is_execution_error(self):
+        from repro.framework.errors import ExecutionError
+
+        assert issubclass(LanternLoweringError, ExecutionError)
+
+    def test_mapping_targets_exist(self):
+        for lantern_op in GRAPH_TO_LANTERN.values():
+            assert lantern_op in ir.OPS
+
+
+class TestProgramParams:
+    def test_builder_registers_params(self):
+        program = ir.Program()
+        b = ir.Builder(program)
+        fdef = ir.FunctionDef("f", ["x"], ["tensor"], 1)
+        program.functions["f"] = fdef
+        p = ir.Param("w", np.ones((1, 2), np.float32))
+        b.push_block(fdef.block)
+        out = b.as_staged(ir.StagedTensor("x", b) + p)
+        fdef.block.result_syms = (out.sym,)
+        b.pop_block()
+        assert program.params == {"w": p}
+        compiled = compiler.compile_program(program, with_grad=False)
+        got = compiled.run("f", np.zeros((1, 2), np.float32))
+        assert np.allclose(got, p.value)
+
+    def test_duplicate_param_names_rejected(self):
+        program = ir.Program()
+        b = ir.Builder(program)
+        b.push_block(ir.Block())
+        b.as_staged(ir.Param("w", np.ones(1)))
+        with pytest.raises(ValueError, match="unique"):
+            b.as_staged(ir.Param("w", np.zeros(1)))
