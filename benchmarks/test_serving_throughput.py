@@ -1,0 +1,136 @@
+"""Serving throughput: dynamic micro-batching vs sequential per-request.
+
+The serving-layer version of the paper's Table-2 cost model: each
+executed call pays a fixed per-dispatch overhead, so under concurrent
+load the batcher — which coalesces whatever arrives within its timeout
+into one stacked execution — amortizes that overhead across the whole
+batch, while sequential per-request execution pays it once per request.
+
+Two table rows measure requests/sec through the in-process serving path
+(the HTTP layer is excluded so the numbers isolate the batching effect):
+
+- ``sequential per-request``: N client threads calling ``call_flat``
+  one example at a time;
+- ``dynamic micro-batching``: the same N clients submitting through a
+  :class:`~repro.serving.MicroBatcher`.
+
+The acceptance bar asserted below: batching is at least 2x sequential.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.benchmarks_util import scaled
+from repro.framework import ops
+from repro.serving import MicroBatcher
+
+TABLE = "Serving: throughput under concurrent load (requests/sec)"
+
+N_CLIENTS = scaled(16, 8)
+REQUESTS_PER_CLIENT = scaled(64, 16)
+FEATURES = 128
+HIDDEN = 256
+# Deep enough that per-request cost is dominated by per-op dispatch and
+# weight-matrix traffic — the costs batching amortizes — rather than by
+# the thread handoff a batched request additionally pays.
+LAYERS = 16
+# Closed-loop clients have at most N_CLIENTS requests in flight; a
+# larger max batch would never fill and every batch would pay the full
+# coalescing timeout waiting for stragglers that cannot arrive.
+MAX_BATCH = N_CLIENTS
+BATCH_TIMEOUT = 0.002
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(0x5EED)
+    # Scale keeps tanh out of saturation through 16 layers.
+    weights = [0.1 * rng.normal(size=(FEATURES, HIDDEN)).astype(np.float32)]
+    weights += [
+        0.1 * rng.normal(size=(HIDDEN, HIDDEN)).astype(np.float32)
+        for _ in range(LAYERS - 1)
+    ]
+    w_out = rng.normal(size=(HIDDEN, 1)).astype(np.float32)
+
+    @repro.function
+    def score(x):
+        h = x
+        for w in weights:
+            h = ops.tanh(ops.matmul(h, w))
+        return ops.matmul(h, w_out)
+
+    cf = score.get_concrete_function(
+        repro.TensorSpec([None, FEATURES], "float32"))
+    cf.call_flat([np.zeros((1, FEATURES), np.float32)])  # warm the plan
+    return cf
+
+
+def _examples(n):
+    rng = np.random.default_rng(1)
+    return [rng.normal(size=(FEATURES,)).astype(np.float32)
+            for _ in range(n)]
+
+
+def _drive(n_clients, n_requests, handle_one):
+    """N threads, each firing its requests back-to-back; returns seconds."""
+    examples = _examples(n_clients)
+    barrier = threading.Barrier(n_clients + 1)
+
+    def client(i):
+        barrier.wait()
+        for _ in range(n_requests):
+            handle_one(examples[i])
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(n_clients)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - start
+
+
+def test_serving_throughput(model, results):
+    total = N_CLIENTS * REQUESTS_PER_CLIENT
+    column = f"{N_CLIENTS} clients x {REQUESTS_PER_CLIENT} requests"
+
+    # -- sequential per-request: every call executes its own batch of 1.
+    seq_elapsed = _drive(
+        N_CLIENTS, REQUESTS_PER_CLIENT,
+        lambda x: model.call_flat([x[None, :]]))
+    seq_rps = total / seq_elapsed
+    results.record(TABLE, "sequential per-request", column, seq_rps,
+                   unit="req/s")
+
+    # -- dynamic micro-batching: concurrent calls coalesce.
+    with MicroBatcher(model, max_batch_size=MAX_BATCH,
+                      batch_timeout=BATCH_TIMEOUT) as batcher:
+        batched_elapsed = _drive(
+            N_CLIENTS, REQUESTS_PER_CLIENT,
+            lambda x: batcher.submit([x]))
+        stats = batcher.stats
+    batched_rps = total / batched_elapsed
+    results.record(TABLE, "dynamic micro-batching", column, batched_rps,
+                   unit="req/s")
+    results.record(TABLE, "dynamic micro-batching", "avg batch size",
+                   stats.requests / stats.batches)
+
+    assert stats.requests == total
+    # Coalescing must be real, not incidental.
+    assert stats.requests / stats.batches > 2.0
+    # The acceptance criterion: batching >= 2x sequential under load.
+    speedup = batched_rps / seq_rps
+    results.record(TABLE, "dynamic micro-batching", "speedup vs sequential",
+                   speedup, unit="x")
+    assert speedup >= 2.0, (
+        f"dynamic batching {batched_rps:.0f} req/s vs sequential "
+        f"{seq_rps:.0f} req/s = {speedup:.2f}x (< 2x)"
+    )

@@ -13,11 +13,20 @@ Packages:
   - :mod:`repro.function` -- the tracing JIT built on top of both: the
     ``@repro.function`` decorator traces Python through AutoGraph into an
     optimized graph and caches one compiled plan per input signature.
+  - :mod:`repro.serving` -- export (``repro.saved_function.save/load``),
+    dynamic micro-batching and a threaded HTTP model server over the
+    backend-neutral ``Executable`` protocol.
 """
 
 __version__ = "0.1.0"
 
-from .function import ConcreteFunction, Function, TensorSpec, function
+from .function import (
+    ConcreteFunction,
+    Executable,
+    Function,
+    TensorSpec,
+    function,
+)
 
 __all__ = [
     "framework",
@@ -28,5 +37,23 @@ __all__ = [
     "function",
     "Function",
     "ConcreteFunction",
+    "Executable",
     "TensorSpec",
+    "serving",
+    "saved_function",
 ]
+
+
+def __getattr__(name):
+    # Deferred: the serving stack (HTTP server, batching threads) should
+    # cost nothing until export/serving is actually used.  importlib, not
+    # ``from . import serving``: the from-import form re-enters this
+    # __getattr__ through its hasattr check before the submodule import
+    # finishes, recursing forever.
+    import importlib
+
+    if name == "serving":
+        return importlib.import_module(".serving", __name__)
+    if name == "saved_function":
+        return importlib.import_module(".serving.saved_function", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -5,6 +5,7 @@ from .func_graph import FuncGraph, execute_func_graph, trace_into_func_graph
 from .gradients import gradients
 from .graph import Graph, Operation, Tensor
 from .optimize import count_ops, optimize_graph
+from .serialize import GraphSerializationError, graph_from_def, graph_to_def
 from .session import Session
 from .tensor_array import TensorArray, TensorArrayValue
 from .variables import Variable, global_variables_initializer
@@ -26,4 +27,7 @@ __all__ = [
     "gradients",
     "count_ops",
     "optimize_graph",
+    "GraphSerializationError",
+    "graph_to_def",
+    "graph_from_def",
 ]

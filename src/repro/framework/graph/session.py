@@ -15,6 +15,8 @@ This captures the cost model that Table 2 of the paper measures:
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from .. import nest
@@ -46,13 +48,24 @@ class _CompiledPlan:
 
 
 class Session:
-    """Executes fetches against a graph."""
+    """Executes fetches against a graph.
+
+    Thread safety: concurrent ``run`` calls are safe on a *frozen* graph
+    (one that is no longer having ops added — every graph a traced
+    ``ConcreteFunction`` or loaded serving artifact executes).  Plan
+    compilation is serialized behind a lock; execution itself touches
+    only per-call locals.  What the session cannot make safe is the
+    *kernels*: concurrent runs that assign the same ``Variable``
+    interleave nondeterministically, so concurrent serving should stick
+    to pure (read-only / frozen) fetches.
+    """
 
     def __init__(self, graph):
         if not isinstance(graph, Graph):
             raise TypeError(f"Session requires a Graph, got {type(graph).__name__}")
         self.graph = graph
         self._plan_cache = {}
+        self._compile_lock = threading.Lock()
 
     # -- public API -----------------------------------------------------------
 
@@ -67,9 +80,16 @@ class Session:
         )
         plan = self._plan_cache.get(key)
         if plan is None:
-            plan = self._compile(flat_fetches, feed_dict)
-            plan.refs = (tuple(flat_fetches), tuple(feed_dict))
-            self._plan_cache[key] = plan
+            # Double-checked behind the lock: two racing first calls
+            # must not both insert (the loser's plan would strand the
+            # winner's refs and waste a compile), and dict reads stay
+            # lock-free on the hot path.
+            with self._compile_lock:
+                plan = self._plan_cache.get(key)
+                if plan is None:
+                    plan = self._compile(flat_fetches, feed_dict)
+                    plan.refs = (tuple(flat_fetches), tuple(feed_dict))
+                    self._plan_cache[key] = plan
 
         values = [None] * plan.n_slots
         for tensor, slot in plan.feed_slots:

@@ -20,11 +20,12 @@ then re-executed from cache.
 """
 
 from .concrete_function import ConcreteFunction
+from .executable import Executable, ExportError, ExportSpec
 from .function import Function, function
 from .tensor_spec import TensorSpec
 
-__all__ = ["ConcreteFunction", "Function", "LanternConcreteFunction",
-           "TensorSpec", "function"]
+__all__ = ["ConcreteFunction", "Executable", "ExportError", "ExportSpec",
+           "Function", "LanternConcreteFunction", "TensorSpec", "function"]
 
 
 def __getattr__(name):

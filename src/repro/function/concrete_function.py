@@ -35,21 +35,11 @@ from ..framework.graph.optimize import optimize_graph
 from ..framework.graph.session import Session
 from ..framework.graph.variables import Variable
 from . import signature as signature_lib
+from .executable import BackendBuilder, Executable, ExportError, ExportSpec, \
+    register_backend_builder
 
 __all__ = ["ConcreteFunction", "trace_concrete_function",
            "trace_func_graph", "classify_outputs"]
-
-
-class _FunctionOpDef:
-    """Minimal OpDef stand-in so a whole traced call can sit on a tape."""
-
-    __slots__ = ("name", "grad_fn", "num_outputs", "stateful")
-
-    def __init__(self, name, grad_fn, num_outputs):
-        self.name = name
-        self.grad_fn = grad_fn
-        self.num_outputs = num_outputs
-        self.stateful = False
 
 
 def _convert_for_trace(python_function, autograph):
@@ -153,7 +143,7 @@ def _reachable_ops(roots):
     return seen
 
 
-class ConcreteFunction:
+class ConcreteFunction(Executable):
     """A single traced signature of a :class:`~repro.function.Function`."""
 
     backend = "graph"
@@ -181,6 +171,7 @@ class ConcreteFunction:
         # extra differentiation targets for the tape bridge, and their
         # eager values join the recorded op's inputs.
         self._variable_reads = list(fg.get_collection("variable_reads"))
+        self._created_variables = list(fg.get_collection("variables"))
 
         # Side effects must survive plan pruning: fetch every stateful op
         # the returned tensors do not already reach.
@@ -207,8 +198,6 @@ class ConcreteFunction:
         self._run_fetches = self._output_fetches + [
             remap(t) for t in self._state_fetches_traced
         ]
-        self._grad_op_def = _FunctionOpDef(
-            f"{name}_call", self._grad_fn, len(self._output_fetches))
 
     # -- introspection -------------------------------------------------------
 
@@ -225,6 +214,56 @@ class ConcreteFunction:
     @property
     def structured_input_signature(self):
         return list(self._canonical.specs)
+
+    @property
+    def variables(self):
+        """Variables this trace reads or created, deduplicated."""
+        seen = set()
+        out = []
+        for v in self._created_variables + [v for v, _ in self._variable_reads]:
+            if id(v) not in seen:
+                seen.add(id(v))
+                out.append(v)
+        return out
+
+    # -- export ---------------------------------------------------------------
+
+    def _check_exportable(self):
+        from ..framework.graph import serialize as graph_serialize
+
+        offending = graph_serialize.find_unexportable_ops(self.optimized_graph)
+        if offending:
+            raise ExportError(
+                f"Concrete function {self.name!r} stages stateful ops "
+                f"{offending}; exported signatures must be pure — variable "
+                "reads are frozen, but assigns/random/prints cannot leave "
+                "the process"
+            )
+        self._export_output_parts()
+
+    def export_spec(self):
+        """Serialize this trace: optimized graph + frozen variable values."""
+        from ..framework.graph.serialize import (
+            GraphSerializationError, graph_to_def)
+
+        # No _check_exportable() here: graph_to_def performs the same
+        # stateful-op walk itself and raises with an equivalent message,
+        # so pre-flighting would just scan the graph twice per save.
+        template, descriptor = self._export_output_parts()
+        try:
+            graph_def, arrays = graph_to_def(
+                self.optimized_graph, self._feeds, self._output_fetches)
+        except GraphSerializationError as e:
+            raise ExportError(str(e)) from e
+        return ExportSpec(
+            backend="graph",
+            name=self.name,
+            input_specs=list(self._canonical.specs),
+            output_template=template,
+            output_descriptor=descriptor,
+            payload={"graph_def": graph_def},
+            arrays=arrays,
+        )
 
     # -- execution -----------------------------------------------------------
 
@@ -278,8 +317,9 @@ class ConcreteFunction:
                 for leaf in (canonical.flat_leaves[i]
                              for i in canonical.tensor_indices)
             ) + var_inputs
-            tape_module.record_operation(
-                self._grad_op_def, eager_inputs, tensor_outputs, {})
+            self._record_on_tape(
+                f"{self.name}_call", self._grad_fn, eager_inputs,
+                tensor_outputs)
         return result
 
     def call_flat(self, tensor_values):
@@ -292,12 +332,7 @@ class ConcreteFunction:
             self._run_fetches, dict(zip(self._feeds, tensor_values)))
         tensor_outputs = tuple(
             EagerTensor(fetched[i]) for i in range(len(self._output_fetches)))
-        leaves = [
-            tensor_outputs[payload] if kind == "t" else payload
-            for kind, payload in self._output_template
-        ]
-        return (nest.pack_sequence_as(self._output_structure, leaves),
-                tensor_outputs)
+        return self._pack_outputs(tensor_outputs), tensor_outputs
 
     # -- gradients ------------------------------------------------------------
 
@@ -370,3 +405,19 @@ def trace_concrete_function(python_function, canonical, name,
     return ConcreteFunction(
         python_function, canonical, name,
         autograph=autograph, optimize=optimize)
+
+
+class _GraphBackendBuilder(BackendBuilder):
+    """The graph route: AutoGraph trace -> optimize -> Session plan."""
+
+    name = "graph"
+    supports_relaxation = True
+
+    def build(self, python_function, canonical, context_, name, *,
+              autograph, optimize):
+        return trace_concrete_function(
+            python_function, canonical, name,
+            autograph=autograph, optimize=optimize)
+
+
+register_backend_builder(_GraphBackendBuilder())

@@ -25,7 +25,7 @@ import warnings
 
 from ..framework import context
 from . import signature as signature_lib
-from .concrete_function import ConcreteFunction, trace_concrete_function
+from .executable import get_backend_builder
 
 __all__ = ["Function", "function"]
 
@@ -105,11 +105,17 @@ class Function:
         return list(self._cache.values())
 
     def pretty_cache(self):
-        """Human-readable view of the cached signatures (retrace debugging)."""
+        """Human-readable view of the cached signatures: backend, specs,
+        export eligibility and model-server registrations."""
         lines = []
         for cf in self._cache.values():
             specs = ", ".join(repr(s) for s in cf.structured_input_signature)
-            lines.append(f"{cf.name}[{cf.backend}]({specs})")
+            ok, reason = cf.export_compatibility()
+            export = "exportable" if ok else f"not exportable: {reason}"
+            line = f"{cf.name}[{cf.backend}]({specs}) <{export}>"
+            if cf.serving_names:
+                line += f" serving={','.join(cf.serving_names)}"
+            lines.append(line)
         return "\n".join(lines)
 
     # -- backend dispatch ------------------------------------------------------
@@ -125,14 +131,22 @@ class Function:
 
     # -- the cache ------------------------------------------------------------
 
-    def _lookup_or_trace(self, canonical):
+    def _lookup_or_build(self, canonical):
+        """One cache, any backend: resolve, prepare the key, build once.
+
+        Every backend goes through the same path — the resolved
+        :class:`~repro.function.executable.BackendBuilder` re-keys the
+        signature (:meth:`prepare`) and mints the
+        :class:`~repro.function.Executable` (:meth:`build`); the cache
+        itself never special-cases a backend.
+        """
         backend, reason = self._resolve_backend(canonical)
-        if backend == "lantern":
-            return self._lookup_or_lower(canonical, reason)
+        builder = get_backend_builder(backend)
+        canonical, build_ctx = builder.prepare(canonical)
         cf = self._cache.get(canonical.key)
         if cf is not None:
             return cf, canonical
-        if self._reduce_retracing:
+        if builder.supports_relaxation and self._reduce_retracing:
             cf = self._cache.get(canonical.relaxed_key)
             if cf is not None:
                 return cf, canonical
@@ -140,26 +154,27 @@ class Function:
             cf = self._cache.get(canonical.key)
             if cf is not None:
                 return cf, canonical
-            if (self._reduce_retracing
-                    and len(self._cache) >= self._retrace_limit):
-                # Too many shape-specialized traces: relax every tensor
-                # dimension so one generic graph absorbs future shapes.
-                canonical = canonical.relaxed()
-                cf = self._cache.get(canonical.key)
-                if cf is not None:
-                    return cf, canonical
-            if (not self._reduce_retracing
-                    and len(self._cache) + 1 == self._retrace_limit):
-                warnings.warn(
-                    f"repro.function {self._name!r} has been traced "
-                    f"{self._retrace_limit} times. Frequent retracing is "
-                    "expensive; pass varying Python scalars as tensors "
-                    "(e.g. np.int32) or construct the Function with "
-                    "reduce_retracing=True.",
-                    stacklevel=3,
-                )
-            cf = trace_concrete_function(
-                self._python_function, canonical,
+            if builder.supports_relaxation:
+                if (self._reduce_retracing
+                        and len(self._cache) >= self._retrace_limit):
+                    # Too many shape-specialized traces: relax every tensor
+                    # dimension so one generic graph absorbs future shapes.
+                    canonical = canonical.relaxed()
+                    cf = self._cache.get(canonical.key)
+                    if cf is not None:
+                        return cf, canonical
+                if (not self._reduce_retracing
+                        and len(self._cache) + 1 == self._retrace_limit):
+                    warnings.warn(
+                        f"repro.function {self._name!r} has been traced "
+                        f"{self._retrace_limit} times. Frequent retracing is "
+                        "expensive; pass varying Python scalars as tensors "
+                        "(e.g. np.int32) or construct the Function with "
+                        "reduce_retracing=True.",
+                        stacklevel=3,
+                    )
+            cf = builder.build(
+                self._python_function, canonical, build_ctx,
                 f"{self._name}_{len(self._cache)}",
                 autograph=self._autograph, optimize=self._optimize,
             )
@@ -168,30 +183,8 @@ class Function:
             # alive while the cache entry exists, or their recycled ids
             # could alias a different object to this trace.
             self._keepalive.extend(canonical.keepalive)
-            self._backend_decisions.append((cf.name, "graph", reason))
+            self._backend_decisions.append((cf.name, builder.name, reason))
             return cf, canonical
-
-    def _lookup_or_lower(self, canonical, reason):
-        """The lantern arm of the cache: lower (once) instead of tracing."""
-        from . import lowering
-
-        lantern_canonical, leaf_plan = lowering.lanternize_signature(canonical)
-        cf = self._cache.get(lantern_canonical.key)
-        if cf is not None:
-            return cf, lantern_canonical
-        with self._lock:
-            cf = self._cache.get(lantern_canonical.key)
-            if cf is not None:
-                return cf, lantern_canonical
-            cf = lowering.LanternConcreteFunction(
-                self._python_function, lantern_canonical, leaf_plan,
-                f"{self._name}_{len(self._cache)}",
-                autograph=self._autograph, optimize=self._optimize,
-            )
-            self._cache[lantern_canonical.key] = cf
-            self._keepalive.extend(lantern_canonical.keepalive)
-            self._backend_decisions.append((cf.name, "lantern", reason))
-            return cf, lantern_canonical
 
     # -- calling ---------------------------------------------------------------
 
@@ -220,7 +213,7 @@ class Function:
                 )
             return self._inline_symbolic(args, kwargs)
         canonical = signature_lib.canonicalize(self._py_signature, args, kwargs)
-        cf, canonical = self._lookup_or_trace(canonical)
+        cf, canonical = self._lookup_or_build(canonical)
         return cf._call_canonical(canonical)
 
     def _inline_symbolic(self, args, kwargs):
@@ -238,13 +231,24 @@ class Function:
         return self._inline_converted(*args, **kwargs)
 
     def get_concrete_function(self, *args, **kwargs):
-        """Trace (or fetch) the concrete function for these arguments.
+        """The :class:`~repro.function.Executable` for these arguments.
+
+        Resolves the backend exactly like a call would (``'graph'``,
+        ``'lantern'``, or whatever ``'auto'`` picks for this signature)
+        and returns the cached-or-freshly-built executable for *that*
+        backend — a graph-route :class:`~repro.function.ConcreteFunction`
+        or a lantern-route
+        :class:`~repro.function.LanternConcreteFunction`; both implement
+        the backend-neutral ``Executable`` protocol (``signature``,
+        ``call_flat``, ``variables``, ``export_spec``), so the result
+        can be exported with :func:`repro.serving.saved_function.save`
+        or served by :class:`repro.serving.ModelServer` either way.
 
         Arguments may be concrete values or bare
         :class:`~repro.function.TensorSpec`s.
         """
         canonical = signature_lib.canonicalize(self._py_signature, args, kwargs)
-        cf, _ = self._lookup_or_trace(canonical)
+        cf, _ = self._lookup_or_build(canonical)
         return cf
 
     # -- decorator plumbing ----------------------------------------------------

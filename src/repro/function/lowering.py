@@ -44,6 +44,8 @@ from ..lantern.lowering import LanternLoweringError, lower_graph
 from ..lantern.staging import ReentrantStagingError, StagedArityError, Stager
 from . import signature as signature_lib
 from .concrete_function import classify_outputs, trace_func_graph
+from .executable import BackendBuilder, Executable, ExportError, ExportSpec, \
+    register_backend_builder
 from .tensor_spec import TensorSpec
 
 __all__ = [
@@ -275,20 +277,7 @@ def lanternize_signature(canonical):
 # ---------------------------------------------------------------------------
 
 
-class _LanternOpDef:
-    """OpDef stand-in recording one lantern call on the tape: its
-    ``grad_fn`` invokes the CPS continuation captured at the forward."""
-
-    __slots__ = ("name", "grad_fn", "num_outputs", "stateful")
-
-    def __init__(self, name, grad_fn, num_outputs):
-        self.name = name
-        self.grad_fn = grad_fn
-        self.num_outputs = num_outputs
-        self.stateful = False
-
-
-class LanternConcreteFunction:
+class LanternConcreteFunction(Executable):
     """One signature of a ``repro.function`` compiled to the §8 backend.
 
     Two construction routes, both producing a
@@ -479,6 +468,37 @@ class LanternConcreteFunction:
                 out.append("Tree")
         return out
 
+    @property
+    def variables(self):
+        """The program's Params (lantern's state carriers)."""
+        return list(self._compiled.params.values())
+
+    # -- export -------------------------------------------------------------
+
+    def export_spec(self):
+        """Serialize the staged program with frozen Param values."""
+        from ..lantern.serialize import (
+            LanternSerializationError, program_to_payload)
+
+        template, descriptor = self._export_output_parts()
+        try:
+            payload, arrays = program_to_payload(self.program)
+        except LanternSerializationError as e:
+            raise ExportError(str(e)) from e
+        payload = {"program": payload, "entry": self._fn_name}
+        return ExportSpec(
+            backend="lantern",
+            name=self.name,
+            input_specs=list(self.structured_input_signature),
+            output_template=template,
+            output_descriptor=descriptor,
+            payload=payload,
+            arrays=arrays,
+        )
+
+    def _check_exportable(self):
+        self._export_output_parts()
+
     # -- execution ---------------------------------------------------------
 
     def __call__(self, *args, **kwargs):
@@ -534,18 +554,25 @@ class LanternConcreteFunction:
                 for leaf, plan in zip(canonical.flat_leaves, self._leaf_plan)
                 if plan == "tensor"
             )
-            op_def = _LanternOpDef(
-                f"{self.name}_lantern_call",
-                self._make_grad_fn(bwd),
-                len(tensor_outputs),
-            )
-            tape_module.record_operation(
-                op_def, eager_inputs, tensor_outputs, {})
-        leaves = [
-            tensor_outputs[payload] if kind == "t" else payload
-            for kind, payload in self._output_template
-        ]
-        return nest.pack_sequence_as(self._output_structure, leaves)
+            self._record_on_tape(
+                f"{self.name}_lantern_call", self._make_grad_fn(bwd),
+                eager_inputs, tensor_outputs)
+        return self._pack_outputs(tensor_outputs)
+
+    def call_flat(self, flat_args):
+        """Run the compiled program on flat runtime arguments.
+
+        ``flat_args`` holds one value per :attr:`signature` entry —
+        numeric arrays for ``TensorSpec`` slots, tree data for ``"Tree"``
+        slots — mirroring the graph backend's ``call_flat``.
+        """
+        out = self._compiled.namespace[self._fn_name](*[
+            a.numpy() if isinstance(a, EagerTensor) else a
+            for a in flat_args
+        ])
+        results = out[:-1]
+        tensor_outputs = tuple(EagerTensor(np.asarray(r)) for r in results)
+        return self._pack_outputs(tensor_outputs)
 
     def call_with_grad(self, *args, seed=1.0, **kwargs):
         """Forward + CPS backward in one shot, without a tape.
@@ -565,11 +592,7 @@ class LanternConcreteFunction:
         bwd(*([seed] * len(results)))
         self._compiled.sync_param_grads()
         tensor_outputs = tuple(EagerTensor(np.asarray(r)) for r in results)
-        leaves = [
-            tensor_outputs[payload] if kind == "t" else payload
-            for kind, payload in self._output_template
-        ]
-        return nest.pack_sequence_as(self._output_structure, leaves)
+        return self._pack_outputs(tensor_outputs)
 
     def zero_grads(self):
         """Zero the program's Param gradient slots (PyTorch-style)."""
@@ -605,6 +628,7 @@ class LanternConcreteFunction:
 
 
 LanternConcreteFunction.__call__.__ag_do_not_convert__ = True
+LanternConcreteFunction.call_flat.__ag_do_not_convert__ = True
 LanternConcreteFunction.call_with_grad.__ag_do_not_convert__ = True
 
 
@@ -615,3 +639,21 @@ def lower_concrete_function(python_function, canonical, name,
     return LanternConcreteFunction(
         python_function, lanternized, leaf_plan, name,
         autograph=autograph, optimize=optimize)
+
+
+class _LanternBackendBuilder(BackendBuilder):
+    """The lantern route: lanternize the key, lower (once) per signature."""
+
+    name = "lantern"
+
+    def prepare(self, canonical):
+        return lanternize_signature(canonical)
+
+    def build(self, python_function, canonical, leaf_plan, name, *,
+              autograph, optimize):
+        return LanternConcreteFunction(
+            python_function, canonical, leaf_plan, name,
+            autograph=autograph, optimize=optimize)
+
+
+register_backend_builder(_LanternBackendBuilder())

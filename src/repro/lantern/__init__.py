@@ -26,6 +26,11 @@ from .lowering import (
     lower_op_call,
 )
 from .models import LanternTreeLSTM, stage_tree_prod, tree_prod
+from .serialize import (
+    LanternSerializationError,
+    program_from_payload,
+    program_to_payload,
+)
 from .sexpr import Sym, format_sexpr, parse_sexpr
 from .staging import ReentrantStagingError, StagedArityError, Stager
 from . import ops
@@ -56,4 +61,7 @@ __all__ = [
     "lower_op_call",
     "ReentrantStagingError",
     "StagedArityError",
+    "LanternSerializationError",
+    "program_to_payload",
+    "program_from_payload",
 ]

@@ -78,9 +78,14 @@ _FWD = {
     "transpose": "np.transpose({0})",
     "maximum": "np.maximum({0}, {1})",
     "matmul": "{0} @ {1}",
+    "concat0": "np.concatenate(({0}, {1}), axis=0)",
     "concat1": "np.concatenate(({0}, {1}), axis=1)",
     "sum": "np.sum({0})",
+    "sum0": "np.sum({0}, axis=0)",
+    "sum1": "np.sum({0}, axis=1)",
     "mean": "np.mean({0})",
+    "mean0": "np.mean({0}, axis=0)",
+    "mean1": "np.mean({0}, axis=1)",
     "xent": "_xent({0}, {1})",
     "not": "not {0}",
 }
@@ -346,16 +351,31 @@ class _FunctionCompiler:
         elif op == "matmul":
             grads.accum(emitter, indent, a, f"{g} @ np.transpose({b})")
             grads.accum(emitter, indent, b, f"np.transpose({a}) @ {g}")
+        elif op == "concat0":
+            split = f"np.shape({a})[0]"
+            grads.accum(emitter, indent, a, f"({g})[:{split}]")
+            grads.accum(emitter, indent, b, f"({g})[{split}:]")
         elif op == "concat1":
             split = f"np.shape({a})[1]"
             grads.accum(emitter, indent, a, f"({g})[:, :{split}]")
             grads.accum(emitter, indent, b, f"({g})[:, {split}:]")
         elif op == "sum":
             grads.accum(emitter, indent, a, f"{g} * np.ones_like({a})")
+        elif op in ("sum0", "sum1"):
+            axis = 0 if op == "sum0" else 1
+            grads.accum(
+                emitter, indent, a,
+                f"np.expand_dims({g}, {axis}) * np.ones_like({a})")
         elif op == "mean":
             grads.accum(
                 emitter, indent, a,
                 f"{g} * np.ones_like({a}) / np.size({a})")
+        elif op in ("mean0", "mean1"):
+            axis = 0 if op == "mean0" else 1
+            grads.accum(
+                emitter, indent, a,
+                f"np.expand_dims({g}, {axis}) * np.ones_like({a}) "
+                f"/ np.shape({a})[{axis}]")
         elif op == "xent":
             tmp = f"_sm{self._fresh_idx()}"
             emitter.emit(indent, f"{tmp} = _softmax({a})")

@@ -51,9 +51,14 @@ OPS = {
     "transpose": 1,
     "maximum": 2,
     "matmul": 2,
+    "concat0": 2,   # concat along axis 0
     "concat1": 2,   # concat along axis 1
     "sum": 1,
+    "sum0": 1,      # reduce along axis 0 (keepdims=False)
+    "sum1": 1,      # reduce along axis 1 (keepdims=False)
     "mean": 1,
+    "mean0": 1,
+    "mean1": 1,
     "xent": 2,      # sparse softmax cross entropy: (logits, label) -> scalar
 }
 

@@ -58,9 +58,13 @@ GRAPH_TO_LANTERN = {
     "Transpose": "transpose",
 }
 
-# Reductions lower only in their whole-tensor form (axis=None, no
-# keepdims): Lantern reductions produce scalars.
+# Reductions lower whole-tensor (axis=None -> scalar) or along axis 0/1
+# (keepdims=False); Lantern values are at most rank 2, so those two axes
+# cover every axis-wise form a lowerable graph can produce.
 _REDUCTIONS = {"Sum": "sum", "Mean": "mean"}
+_AXIS_REDUCTIONS = {("Sum", 0): "sum0", ("Sum", 1): "sum1",
+                    ("Mean", 0): "mean0", ("Mean", 1): "mean1"}
+_CONCATS = {0: "concat0", 1: "concat1"}
 
 
 def _unsupported(op_type, detail=""):
@@ -78,10 +82,20 @@ def _emit_simple(builder, op_type, args, attrs):
     """Emit one translated op; ``args`` are staged values/convertibles."""
     attrs = attrs or {}
     if op_type in _REDUCTIONS:
-        if attrs.get("axis") is not None or attrs.get("keepdims"):
+        if attrs.get("keepdims"):
+            raise _unsupported(op_type, "keepdims=True is not lowerable")
+        axis = attrs.get("axis")
+        if isinstance(axis, (list, tuple)):
+            axis = axis[0] if len(axis) == 1 else axis
+        if axis is None:
+            return builder.emit(_REDUCTIONS[op_type], args[0])
+        lantern_op = _AXIS_REDUCTIONS.get((op_type, axis))
+        if lantern_op is None:
             raise _unsupported(
-                op_type, "only full reductions, axis=None and keepdims=False")
-        return builder.emit(_REDUCTIONS[op_type], args[0])
+                op_type,
+                f"axis={axis!r}; only axis=None (full), 0 or 1 lower "
+                "(negative axes need a rank the IR does not track)")
+        return builder.emit(lantern_op, args[0])
     if op_type == "MatMul":
         a, b = args
         if attrs.get("transpose_a"):
@@ -90,10 +104,18 @@ def _emit_simple(builder, op_type, args, attrs):
             b = builder.emit("transpose", b)
         return builder.emit("matmul", a, b)
     if op_type == "Concat":
-        if len(args) != 2 or attrs.get("axis") != 1:
+        lantern_op = _CONCATS.get(attrs.get("axis", 0))
+        if lantern_op is None or len(args) < 2:
             raise _unsupported(
-                op_type, "only two-way concatenation along axis 1")
-        return builder.emit("concat1", *args)
+                op_type,
+                f"axis={attrs.get('axis')!r} with {len(args)} inputs; "
+                "concatenation lowers along axis 0 or 1 with >= 2 inputs")
+        # N-way concatenation folds into a chain of pairwise concats
+        # (the adjoint splits at each fold boundary symmetrically).
+        result = args[0]
+        for nxt in args[1:]:
+            result = builder.emit(lantern_op, result, nxt)
+        return result
     if op_type == "Transpose" and attrs.get("perm") is not None:
         raise _unsupported(
             op_type, "only the default full axis reversal, perm=None")

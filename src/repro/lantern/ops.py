@@ -12,8 +12,8 @@ import numpy as np
 from .ir import Param, StagedTensor, StagedValue
 
 __all__ = ["tanh", "sigmoid", "relu", "exp", "log", "sqrt", "square",
-           "abs_", "transpose", "maximum", "matmul", "concat1", "sum_",
-           "mean", "xent", "numpy_kernels"]
+           "abs_", "transpose", "maximum", "matmul", "concat0", "concat1",
+           "sum_", "mean", "xent", "numpy_kernels"]
 
 
 def _np_sigmoid(x):
@@ -49,11 +49,18 @@ numpy_kernels = {
     "transpose": np.transpose,
     "maximum": lambda a, b: np.maximum(a, b),
     "matmul": lambda a, b: a @ b,
+    "concat0": lambda a, b: np.concatenate((a, b), axis=0),
     "concat1": lambda a, b: np.concatenate((a, b), axis=1),
     "sum": lambda a: np.sum(a),
+    "sum0": lambda a: np.sum(a, axis=0),
+    "sum1": lambda a: np.sum(a, axis=1),
     "mean": lambda a: np.mean(a),
+    "mean0": lambda a: np.mean(a, axis=0),
+    "mean1": lambda a: np.mean(a, axis=1),
     "xent": _np_xent,
 }
+
+_AXIS_SUFFIX = {None: "", 0: "0", 1: "1"}
 
 
 def _unwrap(value):
@@ -114,9 +121,11 @@ def maximum(a, b):
     return _dispatch("maximum", a, b)
 
 
-def mean(x):
-    """Mean over all elements, to a scalar."""
-    return _dispatch("mean", x)
+def mean(x, axis=None):
+    """Mean over all elements (``axis=None``) or along axis 0/1."""
+    if axis not in _AXIS_SUFFIX:
+        raise ValueError(f"lantern mean supports axis None/0/1, got {axis!r}")
+    return _dispatch(f"mean{_AXIS_SUFFIX[axis]}", x)
 
 
 def matmul(a, b):
@@ -129,9 +138,16 @@ def concat1(a, b):
     return _dispatch("concat1", a, b)
 
 
-def sum_(a):
-    """Sum to a scalar."""
-    return _dispatch("sum", a)
+def concat0(a, b):
+    """Concatenate along axis 0 (stack rows)."""
+    return _dispatch("concat0", a, b)
+
+
+def sum_(a, axis=None):
+    """Sum over all elements (``axis=None``) or along axis 0/1."""
+    if axis not in _AXIS_SUFFIX:
+        raise ValueError(f"lantern sum supports axis None/0/1, got {axis!r}")
+    return _dispatch(f"sum{_AXIS_SUFFIX[axis]}", a)
 
 
 def xent(logits, label):

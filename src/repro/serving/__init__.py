@@ -1,0 +1,30 @@
+"""``repro.serving``: taking traced functions out of the process.
+
+Three layers, all speaking the backend-neutral
+:class:`~repro.function.Executable` protocol, so a signature traced via
+``backend="graph"`` and one lowered via ``backend="lantern"`` are
+interchangeable everywhere here:
+
+- :mod:`repro.serving.saved_function` — ``save``/``load``: serialize a
+  traced signature (optimized graph or lantern program, frozen state,
+  ``TensorSpec`` tree) to disk and rehydrate it without retracing;
+- :class:`MicroBatcher` — dynamic micro-batching: concurrent
+  same-signature calls coalesce along a batch axis (pad + stack, split
+  results) under ``max_batch_size`` / ``batch_timeout`` control;
+- :class:`ModelServer` — a threaded HTTP/JSON front routing named
+  signatures through the batcher to either backend.
+"""
+
+from . import client, saved_function
+from .batching import MicroBatcher
+from .saved_function import load, save
+from .server import ModelServer
+
+__all__ = [
+    "MicroBatcher",
+    "ModelServer",
+    "client",
+    "load",
+    "save",
+    "saved_function",
+]

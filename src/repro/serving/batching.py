@@ -1,0 +1,259 @@
+"""Dynamic micro-batching: coalescing concurrent calls into one execution.
+
+The serving cost model mirrors the paper's Table-2 observation: each
+executed call pays a fixed dispatch overhead (feed validation, plan
+lookup, Python glue), so N concurrent single-example requests cost
+N * overhead executed one by one — but only 1 * overhead (plus the
+marginal, well-vectorized math) executed as one stacked batch.
+
+:class:`MicroBatcher` owns a queue and a worker thread.  Client threads
+submit single examples (shaped like the executable's signature *minus*
+the batch axis) and block; the worker coalesces whatever arrives within
+``batch_timeout`` of the first request — up to ``max_batch_size`` —
+stacks them along ``batch_axis``, runs the executable once via the
+backend-neutral ``call_flat``, splits the result along the batch axis,
+and wakes every waiter with its slice.
+
+Examples co-batched together must agree on shape by default; ragged
+batches are rejected, because zero-filling silently changes the math of
+shape-sensitive models (a mean over a padded axis depends on who you
+were batched with).  Passing ``pad_value`` opts into padding for models
+where the fill value is neutral (masked attention, sum-pooling over
+zeros, ...) — the per-request output slice then keeps the padded shape.
+
+The wrapped executable must therefore be batch-polymorphic along
+``batch_axis`` (trace it with that dimension as ``None``).  Outputs are
+assumed to carry the batch axis too — a scalar output (e.g. a loss
+reduced over the batch) cannot be split and raises.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+
+import numpy as np
+
+from ..framework import nest
+from ..framework.eager.tensor import EagerTensor
+from ..function.tensor_spec import TensorSpec
+
+__all__ = ["BatchStats", "MicroBatcher"]
+
+
+BatchStats = collections.namedtuple(
+    "BatchStats", ["requests", "batches", "max_batch_size"])
+
+
+class _Request:
+    __slots__ = ("inputs", "event", "result", "error")
+
+    def __init__(self, inputs):
+        self.inputs = inputs
+        self.event = threading.Event()
+        self.result = None
+        self.error = None
+
+
+class MicroBatcher:
+    """Coalesces concurrent same-signature calls along a batch axis."""
+
+    def __init__(self, executable, *, batch_axis=0, max_batch_size=32,
+                 batch_timeout=0.002, pad_value=None, timeout=30.0):
+        """Args:
+          executable: a batch-polymorphic
+            :class:`~repro.function.Executable` (either backend, or a
+            loaded artifact).
+          batch_axis: the axis requests stack along.
+          max_batch_size: a batch executes as soon as it has this many
+            requests.
+          batch_timeout: seconds the worker waits (after the first
+            request of a batch arrives) for more requests to coalesce.
+          pad_value: ``None`` (default) rejects batches whose examples
+            disagree on non-batch dimensions; a number opts into padding
+            ragged examples up to the max with that fill value — only
+            sound when the model treats the fill as neutral.
+          timeout: seconds a submitter waits for its result before
+            raising ``TimeoutError`` (guards against a wedged worker).
+        """
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        for spec in executable.signature:
+            if not isinstance(spec, TensorSpec):
+                raise ValueError(
+                    f"MicroBatcher requires an all-tensor signature; "
+                    f"{executable.name!r} takes {spec!r}"
+                )
+        self._executable = executable
+        self._batch_axis = batch_axis
+        self._max_batch_size = max_batch_size
+        self._batch_timeout = batch_timeout
+        self._pad_value = pad_value
+        self._timeout = timeout
+
+        self._cond = threading.Condition()
+        self._pending = collections.deque()
+        self._closed = False
+        self._n_requests = 0
+        self._n_batches = 0
+        self._max_seen = 0
+        self._worker = threading.Thread(
+            target=self._loop, name="repro-microbatcher", daemon=True)
+        self._worker.start()
+
+    # -- client side -------------------------------------------------------
+
+    @property
+    def executable(self):
+        return self._executable
+
+    def __call__(self, *flat_inputs):
+        return self.submit(list(flat_inputs))
+
+    def submit(self, flat_inputs):
+        """Enqueue one example; blocks until its slice of a batch result.
+
+        ``flat_inputs`` holds one value per signature entry, shaped
+        *without* the batch axis (the batcher adds it by stacking).
+        """
+        if len(flat_inputs) != len(self._executable.signature):
+            raise ValueError(
+                f"{self._executable.name!r} takes "
+                f"{len(self._executable.signature)} arguments, got "
+                f"{len(flat_inputs)}"
+            )
+        request = _Request([np.asarray(v) for v in flat_inputs])
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            self._pending.append(request)
+            self._cond.notify_all()
+        if not request.event.wait(self._timeout):
+            raise TimeoutError(
+                f"MicroBatcher request did not complete within "
+                f"{self._timeout}s"
+            )
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    @property
+    def stats(self):
+        with self._cond:
+            return BatchStats(self._n_requests, self._n_batches,
+                              self._max_seen)
+
+    @property
+    def average_batch_size(self):
+        stats = self.stats
+        return stats.requests / stats.batches if stats.batches else 0.0
+
+    def close(self):
+        """Stop the worker after draining already-queued requests."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._worker.join()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # -- worker side -------------------------------------------------------
+
+    def _loop(self):
+        while True:
+            batch = self._gather()
+            if not batch:
+                return
+            self._execute(batch)
+
+    def _gather(self):
+        """Block for the first request, then coalesce until full/timeout."""
+        with self._cond:
+            while not self._pending:
+                if self._closed:
+                    return []
+                self._cond.wait()
+            batch = [self._pending.popleft()]
+            deadline = time.monotonic() + self._batch_timeout
+            while len(batch) < self._max_batch_size:
+                if self._pending:
+                    batch.append(self._pending.popleft())
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._closed:
+                    break
+                self._cond.wait(remaining)
+            return batch
+
+    def _stack(self, values):
+        shapes = {v.shape for v in values}
+        if len(shapes) > 1:
+            ranks = {len(s) for s in shapes}
+            if len(ranks) > 1:
+                raise ValueError(
+                    f"Cannot batch examples of different ranks: "
+                    f"{sorted(shapes)}"
+                )
+            if self._pad_value is None:
+                raise ValueError(
+                    f"Cannot batch examples of different shapes "
+                    f"{sorted(shapes)}: zero-padding would change the "
+                    "model's math depending on which requests co-batch. "
+                    "Pass pad_value=<fill> to MicroBatcher (or "
+                    "add_signature) if padding is neutral for this model."
+                )
+            target = tuple(max(dims) for dims in zip(*shapes))
+            values = [
+                np.pad(v, [(0, t - s) for s, t in zip(v.shape, target)],
+                       constant_values=self._pad_value)
+                if v.shape != target else v
+                for v in values
+            ]
+        return np.stack(values, axis=self._batch_axis)
+
+    def _split(self, result, index):
+        """The per-request slice of a structured batch result."""
+        flat = nest.flatten(result)
+        leaves = []
+        for leaf in flat:
+            if isinstance(leaf, EagerTensor):
+                arr = leaf.numpy()
+                if arr.ndim <= self._batch_axis:
+                    raise ValueError(
+                        f"Output of {self._executable.name!r} has no batch "
+                        f"axis {self._batch_axis} to split (shape "
+                        f"{arr.shape}); batched signatures must return "
+                        "per-example outputs"
+                    )
+                leaves.append(EagerTensor(
+                    np.take(arr, index, axis=self._batch_axis)))
+            else:
+                leaves.append(leaf)
+        return nest.pack_sequence_as(result, leaves)
+
+    def _execute(self, batch):
+        try:
+            n_args = len(self._executable.signature)
+            stacked = [
+                self._stack([r.inputs[i] for r in batch])
+                for i in range(n_args)
+            ]
+            result = self._executable.call_flat(stacked)
+            for index, request in enumerate(batch):
+                request.result = self._split(result, index)
+        except Exception as e:  # noqa: BLE001 - delivered to submitters
+            for request in batch:
+                request.error = e
+        finally:
+            with self._cond:
+                self._n_requests += len(batch)
+                self._n_batches += 1
+                self._max_seen = max(self._max_seen, len(batch))
+            for request in batch:
+                request.event.set()

@@ -1,0 +1,54 @@
+"""A tiny stdlib client for :class:`~repro.serving.ModelServer`.
+
+Kept dependency-free (``urllib``) so examples, benchmarks and user code
+can hit a server without an HTTP library; it is also the documentation
+of the wire format, in code form.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+__all__ = ["ServingError", "list_models", "predict"]
+
+
+class ServingError(RuntimeError):
+    """A server-side error reply (carries the HTTP status)."""
+
+    def __init__(self, status, message):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+def _request(url, data=None, timeout=10.0):
+    req = urllib.request.Request(
+        url,
+        data=None if data is None else json.dumps(data).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as e:
+        try:
+            message = json.loads(e.read().decode("utf-8")).get("error", "")
+        except Exception:  # noqa: BLE001 - error-path best effort
+            message = e.reason
+        raise ServingError(e.code, message) from None
+
+
+def list_models(base_url, timeout=10.0):
+    """``GET /v1/models``: every served signature's metadata."""
+    return _request(f"{base_url}/v1/models", timeout=timeout)
+
+
+def predict(base_url, name, inputs, timeout=10.0):
+    """``POST /v1/models/<name>:predict`` with one value per signature
+    entry (nested lists); returns the decoded JSON reply."""
+    return _request(
+        f"{base_url}/v1/models/{name}:predict",
+        data={"inputs": inputs},
+        timeout=timeout,
+    )

@@ -1,0 +1,291 @@
+"""``save``/``load``: traced signatures as on-disk artifacts.
+
+``save(fn, path, *args)`` serializes one traced signature — the
+SavedModel move, for both backends:
+
+- **graph** route: the concrete function's *optimized* graph, with
+  variable reads frozen to constants (GraphDef + checkpoint in one);
+- **lantern** route: the staged program (IR instruction blocks) with
+  frozen ``Param`` values; compilation re-runs at load time.
+
+The artifact is a directory holding ``saved_function.json`` (signature,
+output structure, backend payload) and ``arrays.npz`` (every ndarray the
+payload references).  ``load(path)`` rehydrates it into an
+:class:`~repro.function.Executable` without retracing — no AutoGraph, no
+Python source, no Variables required in the loading process — so the
+same artifact answers ``call_flat`` (and serves through
+:class:`~repro.serving.ModelServer`) whichever backend produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from ..framework.eager.tensor import EagerTensor
+from ..function.executable import (
+    Executable,
+    ExportError,
+    ExportSpec,
+    descriptor_to_structure,
+    resolve_executable,
+)
+from ..function.tensor_spec import TensorSpec
+
+__all__ = ["save", "load", "LoadedExecutable"]
+
+SPEC_FILE = "saved_function.json"
+ARRAYS_FILE = "arrays.npz"
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Input-spec encoding
+# ---------------------------------------------------------------------------
+
+
+def _encode_input_spec(spec):
+    if isinstance(spec, str):  # the lantern "Tree" marker
+        return {"kind": "tree"}
+    dims = spec.shape.dims
+    return {
+        "kind": "tensor",
+        "dtype": spec.dtype.name,
+        "shape": None if dims is None else list(dims),
+        "name": spec.name,
+    }
+
+
+def _decode_input_spec(data):
+    if data["kind"] == "tree":
+        return "Tree"
+    shape = data["shape"]
+    return TensorSpec(
+        None if shape is None else tuple(shape),
+        data["dtype"],
+        name=data.get("name"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# save
+# ---------------------------------------------------------------------------
+
+
+def save(fn, path, *args, **kwargs):
+    """Serialize one traced signature of ``fn`` to ``path``.
+
+    Args:
+      fn: an :class:`~repro.function.Executable` (e.g. from
+        ``Function.get_concrete_function``), or a
+        :class:`~repro.function.Function` — then ``*args``/``**kwargs``
+        (concrete values or bare :class:`TensorSpec`s) select, and if
+        necessary trace, the signature to export.
+      path: target directory (created if missing).
+
+    Returns:
+      ``path``.
+
+    Raises:
+      ExportError: the signature cannot leave the process (stateful
+        side effects, unserializable return structure, ...).
+    """
+    executable = resolve_executable(fn, args, kwargs, "save")
+    spec = executable.export_spec()
+    doc = {
+        "format_version": FORMAT_VERSION,
+        "backend": spec.backend,
+        "name": spec.name,
+        "input_specs": [_encode_input_spec(s) for s in spec.input_specs],
+        "output_template": [list(leaf) for leaf in spec.output_template],
+        "output_descriptor": spec.output_descriptor,
+        "payload": spec.payload,
+    }
+    os.makedirs(path, exist_ok=True)
+    with open(os.path.join(path, SPEC_FILE), "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    # Always write the arrays file (even empty) so an artifact directory
+    # has a fixed, recognizable layout.
+    np.savez(os.path.join(path, ARRAYS_FILE), **spec.arrays)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# load
+# ---------------------------------------------------------------------------
+
+
+class LoadedExecutable(Executable):
+    """An :class:`Executable` rehydrated from a saved artifact.
+
+    State was frozen at export, so ``variables`` is empty and calls are
+    pure; ``export_spec`` re-serializes, making artifacts round-trip
+    (``load(save(load(p)))`` is the identity).
+    """
+
+    def __init__(self, name, input_specs, output_template, output_descriptor):
+        self.name = name
+        self._input_specs = list(input_specs)
+        self._output_template = [tuple(leaf) for leaf in output_template]
+        self._output_descriptor = output_descriptor
+        self._output_structure = descriptor_to_structure(output_descriptor)
+
+    @property
+    def structured_input_signature(self):
+        return list(self._input_specs)
+
+    @property
+    def variables(self):
+        return []
+
+    def __call__(self, *args):
+        """Convenience: positional flat runtime arguments."""
+        return self.call_flat(list(args))
+
+    def _cast_args(self, flat_args):
+        if len(flat_args) != len(self._input_specs):
+            raise ValueError(
+                f"{self.name!r} takes {len(self._input_specs)} arguments, "
+                f"got {len(flat_args)}"
+            )
+        cast = []
+        for value, spec in zip(flat_args, self._input_specs):
+            if isinstance(spec, TensorSpec):
+                if isinstance(value, EagerTensor):
+                    value = value.numpy()
+                value = np.asarray(value, dtype=spec.dtype.np_dtype)
+                if not spec.shape.is_compatible_with(value.shape):
+                    raise ValueError(
+                        f"{self.name!r}: argument of shape {value.shape} is "
+                        f"incompatible with {spec}"
+                    )
+            cast.append(value)
+        return cast
+
+    def _export_spec_from_parts(self, backend, payload, arrays):
+        return ExportSpec(
+            backend=backend,
+            name=self.name,
+            input_specs=list(self._input_specs),
+            output_template=list(self._output_template),
+            output_descriptor=self._output_descriptor,
+            payload=payload,
+            arrays=arrays,
+        )
+
+    def __repr__(self):
+        return (f"<{type(self).__name__} {self.name!r} "
+                f"inputs={self._input_specs}>")
+
+
+class _LoadedGraphExecutable(LoadedExecutable):
+    """A deserialized graph signature running on a private Session."""
+
+    backend = "graph"
+
+    def __init__(self, name, input_specs, output_template,
+                 output_descriptor, graph, inputs, outputs):
+        super().__init__(name, input_specs, output_template,
+                         output_descriptor)
+        from ..framework.graph.session import Session
+
+        self._graph = graph
+        self._inputs = inputs
+        self._outputs = outputs
+        self._session = Session(graph)
+
+    def call_flat(self, flat_args):
+        fetched = self._session.run(
+            self._outputs, dict(zip(self._inputs, self._cast_args(flat_args))))
+        tensor_outputs = tuple(EagerTensor(v) for v in fetched)
+        return self._pack_outputs(tensor_outputs)
+
+    def export_spec(self):
+        from ..framework.graph.serialize import graph_to_def
+
+        graph_def, arrays = graph_to_def(
+            self._graph, self._inputs, self._outputs)
+        return self._export_spec_from_parts(
+            "graph", {"graph_def": graph_def}, arrays)
+
+
+class _LoadedLanternExecutable(LoadedExecutable):
+    """A deserialized lantern program, recompiled forward-only."""
+
+    backend = "lantern"
+
+    def __init__(self, name, input_specs, output_template,
+                 output_descriptor, program, entry):
+        super().__init__(name, input_specs, output_template,
+                         output_descriptor)
+        from ..lantern.compiler import compile_program
+
+        self._program = program
+        self._entry = entry
+        self._compiled = compile_program(program, with_grad=False)
+
+    def call_flat(self, flat_args):
+        out = self._compiled.namespace[self._entry](
+            *self._cast_args(flat_args))
+        tensor_outputs = tuple(EagerTensor(np.asarray(r)) for r in out)
+        return self._pack_outputs(tensor_outputs)
+
+    def export_spec(self):
+        from ..lantern.serialize import program_to_payload
+
+        payload, arrays = program_to_payload(self._program)
+        return self._export_spec_from_parts(
+            "lantern", {"program": payload, "entry": self._entry}, arrays)
+
+
+def load(path):
+    """Rehydrate a :func:`save` artifact into an :class:`Executable`.
+
+    No retracing happens: the graph route rebuilds the serialized graph
+    and compiles a fresh ``Session`` plan, the lantern route re-runs
+    code generation on the deserialized program.
+    """
+    spec_path = os.path.join(path, SPEC_FILE)
+    try:
+        with open(spec_path) as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        raise ExportError(
+            f"{path!r} is not a saved-function artifact (no {SPEC_FILE})"
+        ) from None
+    version = doc.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ExportError(
+            f"Unsupported saved-function format_version {version!r} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    arrays_path = os.path.join(path, ARRAYS_FILE)
+    if os.path.exists(arrays_path):
+        with np.load(arrays_path) as data:
+            arrays = {k: data[k] for k in data.files}
+    else:
+        arrays = {}
+
+    common = (
+        doc["name"],
+        [_decode_input_spec(s) for s in doc["input_specs"]],
+        doc["output_template"],
+        doc["output_descriptor"],
+    )
+    backend = doc["backend"]
+    if backend == "graph":
+        from ..framework.graph.serialize import graph_from_def
+
+        graph, inputs, outputs = graph_from_def(
+            doc["payload"]["graph_def"], arrays)
+        return _LoadedGraphExecutable(*common, graph, inputs, outputs)
+    if backend == "lantern":
+        from ..lantern.serialize import program_from_payload
+
+        program = program_from_payload(doc["payload"]["program"], arrays)
+        return _LoadedLanternExecutable(
+            *common, program, doc["payload"]["entry"])
+    raise ExportError(f"Unknown saved-function backend {backend!r}")

@@ -1,0 +1,277 @@
+"""``ModelServer``: a threaded HTTP/JSON front over named executables.
+
+Routes (JSON in, JSON out):
+
+- ``GET /v1/models`` — every served signature: backend, input specs,
+  batching configuration, request counts;
+- ``GET /v1/models/<name>`` — one signature's metadata;
+- ``POST /v1/models/<name>:predict`` with body ``{"inputs": [...]}`` —
+  one value per signature entry (nested lists); responds
+  ``{"outputs": [...], "backend": ...}`` with the flattened result
+  leaves.
+
+Each request is handled on its own thread
+(``ThreadingHTTPServer``); signatures registered with ``batch=True``
+funnel through a per-signature
+:class:`~repro.serving.MicroBatcher`, so concurrent predict calls
+coalesce into single batched executions.  For batched signatures the
+request body carries a *single example* (no batch axis); unbatched
+signatures receive their inputs verbatim.
+
+The executables behind the routes are anything implementing the
+backend-neutral protocol — live graph/lantern concrete functions or
+loaded :func:`~repro.serving.saved_function.load` artifacts — which is
+the point: one server, either backend, same wire format.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from ..framework import nest
+from ..framework.eager.tensor import EagerTensor
+from ..framework.errors import FrameworkError
+from ..function.executable import resolve_executable
+from ..function.tensor_spec import TensorSpec
+from .batching import MicroBatcher
+
+__all__ = ["ModelServer"]
+
+
+class _Endpoint:
+    __slots__ = ("name", "executable", "batcher", "batch_config", "requests")
+
+    def __init__(self, name, executable, batch_config):
+        self.name = name
+        self.executable = executable
+        # None = unbatched; otherwise MicroBatcher kwargs, kept so a
+        # stopped-and-restarted server rebuilds an equivalent batcher.
+        self.batch_config = batch_config
+        self.batcher = (
+            MicroBatcher(executable, **batch_config)
+            if batch_config is not None else None
+        )
+        self.requests = 0
+
+    def describe(self):
+        info = {
+            "backend": self.executable.backend,
+            "signature": [
+                repr(s) if isinstance(s, TensorSpec) else s
+                for s in self.executable.signature
+            ],
+            "batching": self.batcher is not None,
+            "requests": self.requests,
+        }
+        if self.batcher is not None:
+            stats = self.batcher.stats
+            info["batch_stats"] = {
+                "batches": stats.batches,
+                "requests": stats.requests,
+                "max_batch_size": stats.max_batch_size,
+            }
+        return info
+
+
+class ModelServer:
+    """Serve named :class:`~repro.function.Executable` signatures.
+
+    ::
+
+        server = ModelServer()
+        server.add_signature("score", model_fn, spec)   # traces if needed
+        with server:                                     # start/stop
+            reply = repro.serving.client.predict(
+                server.url, "score", [[1.0, 2.0, 3.0, 4.0]])
+    """
+
+    def __init__(self, host="127.0.0.1", port=0):
+        self._host = host
+        self._port = port
+        self._endpoints = {}
+        self._httpd = None
+        self._thread = None
+        self._lock = threading.Lock()
+
+    # -- registration ------------------------------------------------------
+
+    def add_signature(self, name, fn, *args, batch=True, batch_axis=0,
+                      max_batch_size=32, batch_timeout=0.002,
+                      pad_value=None, **kwargs):
+        """Route ``POST /v1/models/<name>:predict`` to ``fn``.
+
+        Args:
+          name: URL-visible signature name.
+          fn: an :class:`~repro.function.Executable`, or a polymorphic
+            :class:`~repro.function.Function` — then ``*args``/
+            ``**kwargs`` (values or :class:`TensorSpec`s) select the
+            signature, exactly like ``get_concrete_function``.
+          batch: coalesce concurrent requests through a
+            :class:`MicroBatcher`.  The executable must then be
+            batch-polymorphic along ``batch_axis`` and each request
+            carries one example without that axis.
+          batch_axis / max_batch_size / batch_timeout / pad_value:
+            :class:`MicroBatcher` knobs.
+
+        Returns:
+          The registered executable.
+        """
+        executable = resolve_executable(fn, args, kwargs, "add_signature")
+        if name in self._endpoints:
+            raise ValueError(f"Signature {name!r} is already registered")
+        batch_config = None
+        if batch:
+            batch_config = {"batch_axis": batch_axis,
+                            "max_batch_size": max_batch_size,
+                            "batch_timeout": batch_timeout,
+                            "pad_value": pad_value}
+        self._endpoints[name] = _Endpoint(name, executable, batch_config)
+        executable._mark_served(name)
+        return executable
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def url(self):
+        if self._httpd is None:
+            raise RuntimeError("ModelServer is not running")
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self):
+        """Bind and serve on a daemon thread; returns the base URL."""
+        if self._httpd is not None:
+            raise RuntimeError("ModelServer is already running")
+        # A restarted server gets fresh batchers (stop() drained the old
+        # ones) so batched signatures stay batched across restarts.
+        for endpoint in self._endpoints.values():
+            if endpoint.batch_config is not None and endpoint.batcher is None:
+                endpoint.batcher = MicroBatcher(
+                    endpoint.executable, **endpoint.batch_config)
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((self._host, self._port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-model-server",
+            daemon=True)
+        self._thread.start()
+        return self.url
+
+    def stop(self):
+        """Shut the listener down and drain the batchers."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._thread.join()
+            self._httpd = None
+            self._thread = None
+        for endpoint in self._endpoints.values():
+            if endpoint.batcher is not None:
+                endpoint.batcher.close()
+                endpoint.batcher = None
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+        return False
+
+    # -- request plumbing (called from handler threads) --------------------
+
+    def _describe_all(self):
+        return {
+            "models": {
+                name: ep.describe() for name, ep in self._endpoints.items()
+            }
+        }
+
+    def _predict(self, name, body):
+        endpoint = self._endpoints.get(name)
+        if endpoint is None:
+            raise KeyError(name)
+        inputs = body.get("inputs")
+        signature = endpoint.executable.signature
+        if not isinstance(inputs, list) or len(inputs) != len(signature):
+            raise ValueError(
+                f"Body must carry 'inputs': a list of "
+                f"{len(signature)} values (one per signature entry)"
+            )
+        values = []
+        for value, spec in zip(inputs, signature):
+            if isinstance(spec, TensorSpec):
+                value = np.asarray(value, dtype=spec.dtype.np_dtype)
+            values.append(value)
+        with self._lock:
+            endpoint.requests += 1
+        # Snapshot: stop() may null the batcher under an in-flight
+        # handler thread.  A drained batcher raises its own "closed"
+        # error; an already-nulled one must NOT fall through to the
+        # unbatched path (these values are single examples without the
+        # batch axis).
+        batcher = endpoint.batcher
+        if batcher is not None:
+            result = batcher.submit(values)
+        elif endpoint.batch_config is not None:
+            raise RuntimeError("ModelServer is stopping")
+        else:
+            result = endpoint.executable.call_flat(values)
+        outputs = []
+        for leaf in nest.flatten(result):
+            if isinstance(leaf, EagerTensor):
+                leaf = leaf.numpy()
+            if isinstance(leaf, (np.ndarray, np.generic)):
+                leaf = leaf.tolist()
+            outputs.append(leaf)
+        return {"outputs": outputs, "backend": endpoint.executable.backend}
+
+
+def _make_handler(server):
+    class _Handler(BaseHTTPRequestHandler):
+        # Handler threads must not write to the test/benchmark console.
+        def log_message(self, format, *args):  # noqa: A002
+            pass
+
+        def _reply(self, status, payload):
+            data = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def do_GET(self):  # noqa: N802 - http.server API
+            if self.path == "/v1/models":
+                self._reply(200, server._describe_all())
+                return
+            if self.path.startswith("/v1/models/"):
+                name = self.path[len("/v1/models/"):]
+                endpoint = server._endpoints.get(name)
+                if endpoint is not None:
+                    self._reply(200, {name: endpoint.describe()})
+                    return
+            self._reply(404, {"error": f"No route {self.path!r}"})
+
+        def do_POST(self):  # noqa: N802 - http.server API
+            if not (self.path.startswith("/v1/models/")
+                    and self.path.endswith(":predict")):
+                self._reply(404, {"error": f"No route {self.path!r}"})
+                return
+            name = self.path[len("/v1/models/"):-len(":predict")]
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                body = json.loads(self.rfile.read(length) or b"{}")
+                self._reply(200, server._predict(name, body))
+            except KeyError:
+                self._reply(404, {"error": f"No signature {name!r}"})
+            except (ValueError, TypeError, FrameworkError) as e:
+                self._reply(400, {"error": str(e)})
+            except Exception as e:  # noqa: BLE001 - wire boundary
+                self._reply(500, {"error": f"{type(e).__name__}: {e}"})
+
+    return _Handler

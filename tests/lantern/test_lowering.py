@@ -169,12 +169,35 @@ class TestLowerGraph:
         with pytest.raises(LanternLoweringError, match="Floor"):
             lower_graph(g, [a], [out], name="f")
 
-    def test_axis_reduction_unsupported(self):
+    def test_axis_reductions_lower(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 3)).astype(np.float32)
+        for op_type, np_fn in (("Sum", np.sum), ("Mean", np.mean)):
+            for axis in (0, 1):
+                g = Graph("t")
+                with g.as_default():
+                    a = g.placeholder("float32", (2, 3), name="a")
+                    out = g.create_op(op_type, [a], {"axis": axis}).outputs[0]
+                program, fdef = lower_graph(g, [a], [out], name="f")
+                compiled = compiler.compile_program(program, with_grad=False)
+                np.testing.assert_allclose(
+                    compiled.run("f", x), np_fn(x, axis=axis), rtol=1e-6)
+
+    def test_keepdims_reduction_unsupported(self):
         g = Graph("t")
         with g.as_default():
             a = g.placeholder("float32", (2, 3), name="a")
-            out = g.create_op("Sum", [a], {"axis": 1}).outputs[0]
-        with pytest.raises(LanternLoweringError, match="full reductions"):
+            out = g.create_op(
+                "Sum", [a], {"axis": 1, "keepdims": True}).outputs[0]
+        with pytest.raises(LanternLoweringError, match="keepdims"):
+            lower_graph(g, [a], [out], name="f")
+
+    def test_negative_axis_reduction_unsupported(self):
+        g = Graph("t")
+        with g.as_default():
+            a = g.placeholder("float32", (2, 3), name="a")
+            out = g.create_op("Sum", [a], {"axis": -1}).outputs[0]
+        with pytest.raises(LanternLoweringError, match="axis"):
             lower_graph(g, [a], [out], name="f")
 
     def test_error_is_execution_error(self):

@@ -1,0 +1,171 @@
+"""MicroBatcher: coalescing, padding, splitting, error and lifecycle."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.framework import ops
+from repro.serving import MicroBatcher
+
+
+def _model(backend="graph"):
+    w = np.random.default_rng(0).normal(size=(4, 2)).astype(np.float32)
+
+    @repro.function(backend=backend)
+    def f(x):
+        return ops.matmul(x, w)
+
+    return f.get_concrete_function(repro.TensorSpec([None, 4], "float32")), w
+
+
+def _submit_all(batcher, examples):
+    results = [None] * len(examples)
+    errors = [None] * len(examples)
+
+    def run(i):
+        try:
+            results[i] = batcher.submit([examples[i]])
+        except Exception as e:  # noqa: BLE001
+            errors[i] = e
+
+    threads = [threading.Thread(target=run, args=(i,))
+               for i in range(len(examples))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results, errors
+
+
+@pytest.mark.parametrize("backend", ["graph", "lantern"])
+def test_concurrent_requests_coalesce(backend):
+    cf, w = _model(backend)
+    rng = np.random.default_rng(1)
+    examples = [rng.normal(size=(4,)).astype(np.float32) for _ in range(24)]
+    with MicroBatcher(cf, max_batch_size=8, batch_timeout=0.05) as batcher:
+        results, errors = _submit_all(batcher, examples)
+        stats = batcher.stats
+    assert errors == [None] * 24
+    for x, r in zip(examples, results):
+        np.testing.assert_allclose(r.numpy(), x @ w, rtol=1e-5)
+    assert stats.requests == 24
+    # Coalescing must actually happen: far fewer executions than calls.
+    assert stats.batches < 24
+    assert stats.max_batch_size > 1
+
+
+def test_single_request_executes_after_timeout():
+    cf, w = _model()
+    with MicroBatcher(cf, max_batch_size=64, batch_timeout=0.01) as batcher:
+        x = np.ones(4, np.float32)
+        start = time.monotonic()
+        out = batcher.submit([x])
+        elapsed = time.monotonic() - start
+    np.testing.assert_allclose(out.numpy(), x @ w, rtol=1e-5)
+    assert elapsed < 5.0  # timeout fired, did not wait for a full batch
+
+
+def test_full_batch_does_not_wait_for_timeout():
+    cf, _ = _model()
+    with MicroBatcher(cf, max_batch_size=2, batch_timeout=30.0) as batcher:
+        examples = [np.ones(4, np.float32)] * 4
+        start = time.monotonic()
+        _, errors = _submit_all(batcher, examples)
+        assert time.monotonic() - start < 5.0
+    assert errors == [None] * 4
+
+
+def _rowsum_cf():
+    @repro.function
+    def rowsum(x):
+        return ops.reduce_sum(x, axis=1)
+
+    return rowsum.get_concrete_function(
+        repro.TensorSpec([None, None], "float32"))
+
+
+def test_ragged_examples_rejected_by_default():
+    # Silent padding would make results depend on co-batched requests;
+    # without an explicit pad_value the whole ragged batch errors out.
+    with MicroBatcher(_rowsum_cf(), max_batch_size=4,
+                      batch_timeout=0.05) as batcher:
+        examples = [np.ones(2, np.float32), np.ones(5, np.float32)]
+        _, errors = _submit_all(batcher, examples)
+    assert any(isinstance(e, ValueError) and "pad_value" in str(e)
+               for e in errors if e is not None)
+
+
+def test_ragged_examples_padded_on_opt_in():
+    with MicroBatcher(_rowsum_cf(), max_batch_size=4, batch_timeout=0.05,
+                      pad_value=0.0) as batcher:
+        examples = [np.ones(2, np.float32), np.ones(5, np.float32)]
+        results, errors = _submit_all(batcher, examples)
+    assert errors == [None, None]
+    # Zero padding keeps sums exact.
+    assert float(results[0].numpy()) == pytest.approx(2.0)
+    assert float(results[1].numpy()) == pytest.approx(5.0)
+
+
+def test_mixed_rank_examples_rejected():
+    cf, _ = _model()
+    with MicroBatcher(cf, max_batch_size=4, batch_timeout=0.05) as batcher:
+        _, errors = _submit_all(
+            batcher, [np.ones(4, np.float32), np.ones((1, 4), np.float32)])
+    assert any(isinstance(e, ValueError) and "rank" in str(e)
+               for e in errors if e is not None)
+
+
+def test_scalar_output_cannot_split():
+    @repro.function
+    def loss(x):
+        return ops.reduce_sum(x)
+
+    cf = loss.get_concrete_function(repro.TensorSpec([None, 4], "float32"))
+    with MicroBatcher(cf, max_batch_size=4, batch_timeout=0.05) as batcher:
+        with pytest.raises(ValueError, match="batch axis"):
+            batcher.submit([np.ones(4, np.float32)])
+
+
+def test_wrong_arity_rejected_at_submit():
+    cf, _ = _model()
+    with MicroBatcher(cf) as batcher:
+        with pytest.raises(ValueError, match="takes 1 argument"):
+            batcher.submit([np.ones(4, np.float32), np.ones(4, np.float32)])
+
+
+def test_tree_signature_rejected_at_construction():
+    from repro.datasets.treebank import EMPTY, Tree
+
+    def tree_id(tree):
+        if tree.is_empty:
+            return 1.0
+        else:
+            return tree.value
+
+    leaf = Tree(value=2.0)
+    leaf.left = EMPTY
+    leaf.right = EMPTY
+    cf = repro.function(tree_id, backend="lantern").get_concrete_function(leaf)
+    with pytest.raises(ValueError, match="all-tensor"):
+        MicroBatcher(cf)
+
+
+def test_submit_after_close_raises():
+    cf, _ = _model()
+    batcher = MicroBatcher(cf)
+    batcher.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        batcher.submit([np.ones(4, np.float32)])
+
+
+def test_stats_and_average():
+    cf, _ = _model()
+    with MicroBatcher(cf, max_batch_size=4, batch_timeout=0.02) as batcher:
+        _submit_all(batcher, [np.ones(4, np.float32)] * 8)
+        stats = batcher.stats
+        assert stats.requests == 8
+        assert batcher.average_batch_size == pytest.approx(
+            stats.requests / stats.batches)

@@ -1,0 +1,181 @@
+"""ModelServer: HTTP routing, both backends, batched concurrent clients."""
+
+import os
+import pathlib
+import subprocess
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.framework import ops
+from repro.serving import ModelServer, client, load, save
+
+
+W = np.random.default_rng(0).normal(size=(4, 3)).astype(np.float32)
+
+
+def _score_function(backend):
+    @repro.function(backend=backend)
+    def score(x):
+        return ops.tanh(ops.matmul(x, W))
+
+    return score
+
+
+def test_serves_both_backends_from_one_server():
+    spec = repro.TensorSpec([None, 4], "float32")
+    server = ModelServer()
+    server.add_signature("graph", _score_function("graph"), spec)
+    server.add_signature("lantern", _score_function("lantern"), spec)
+    x = np.random.default_rng(1).normal(size=(4,)).astype(np.float32)
+    expected = np.tanh(x[None, :] @ W)[0]
+    with server:
+        for name in ("graph", "lantern"):
+            reply = client.predict(server.url, name, [x.tolist()])
+            assert reply["backend"] == name
+            np.testing.assert_allclose(
+                np.asarray(reply["outputs"][0]), expected, rtol=1e-5, atol=1e-6)
+
+
+def test_same_artifact_serves_whichever_backend_traced_it(tmp_path):
+    """The acceptance-criteria scenario: save via either backend, load,
+    serve — one protocol end to end."""
+    spec = repro.TensorSpec([None, 4], "float32")
+    x = np.random.default_rng(2).normal(size=(4,)).astype(np.float32)
+    expected = np.tanh(x[None, :] @ W)[0]
+    server = ModelServer()
+    for backend in ("graph", "lantern"):
+        path = str(tmp_path / backend)
+        save(_score_function(backend), path, spec)
+        server.add_signature(backend, load(path))
+    with server:
+        models = client.list_models(server.url)["models"]
+        assert set(models) == {"graph", "lantern"}
+        for backend in ("graph", "lantern"):
+            assert models[backend]["batching"] is True
+            reply = client.predict(server.url, backend, [x.tolist()])
+            assert reply["backend"] == backend
+            np.testing.assert_allclose(
+                np.asarray(reply["outputs"][0]), expected, rtol=1e-5, atol=1e-6)
+
+
+def test_concurrent_clients_are_batched():
+    spec = repro.TensorSpec([None, 4], "float32")
+    server = ModelServer()
+    executable = server.add_signature(
+        "score", _score_function("graph"), spec,
+        max_batch_size=8, batch_timeout=0.05)
+    assert "score" in executable.serving_names
+    rng = np.random.default_rng(3)
+    examples = [rng.normal(size=(4,)).astype(np.float32) for _ in range(16)]
+    replies = [None] * 16
+    with server:
+        url = server.url
+
+        def hit(i):
+            replies[i] = client.predict(url, "score", [examples[i].tolist()])
+
+        threads = [threading.Thread(target=hit, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = client.list_models(url)["models"]["score"]["batch_stats"]
+    for x, reply in zip(examples, replies):
+        np.testing.assert_allclose(
+            np.asarray(reply["outputs"][0]), np.tanh(x[None, :] @ W)[0],
+            rtol=1e-5, atol=1e-6)
+    assert stats["requests"] == 16
+    assert stats["batches"] < 16  # coalescing observable over HTTP
+
+
+def test_unbatched_signature_takes_full_tensors():
+    server = ModelServer()
+    server.add_signature(
+        "score", _score_function("graph"),
+        repro.TensorSpec([None, 4], "float32"), batch=False)
+    x = np.random.default_rng(4).normal(size=(2, 4)).astype(np.float32)
+    with server:
+        reply = client.predict(server.url, "score", [x.tolist()])
+    np.testing.assert_allclose(
+        np.asarray(reply["outputs"][0]), np.tanh(x @ W), rtol=1e-5, atol=1e-6)
+
+
+def test_error_replies():
+    server = ModelServer()
+    server.add_signature(
+        "score", _score_function("graph"),
+        repro.TensorSpec([None, 4], "float32"))
+    with server:
+        with pytest.raises(client.ServingError) as nope:
+            client.predict(server.url, "nope", [[1.0]])
+        assert nope.value.status == 404
+        with pytest.raises(client.ServingError) as bad:
+            client.predict(server.url, "score", "not-a-list")
+        assert bad.value.status == 400
+        with pytest.raises(client.ServingError):
+            client.list_models(server.url + "/bogus")
+
+
+def test_duplicate_and_bad_registrations():
+    server = ModelServer()
+    server.add_signature(
+        "score", _score_function("graph"),
+        repro.TensorSpec([None, 4], "float32"))
+    with pytest.raises(ValueError, match="already registered"):
+        server.add_signature(
+            "score", _score_function("graph"),
+            repro.TensorSpec([None, 4], "float32"))
+    with pytest.raises(TypeError, match="Function or Executable"):
+        server.add_signature("plain", lambda x: x)
+
+
+def test_restart_keeps_batching():
+    server = ModelServer()
+    server.add_signature(
+        "score", _score_function("graph"),
+        repro.TensorSpec([None, 4], "float32"), max_batch_size=4)
+    x = np.ones(4, np.float32)
+    for _ in range(2):  # second iteration exercises the restarted server
+        with server:
+            models = client.list_models(server.url)["models"]
+            assert models["score"]["batching"] is True
+            reply = client.predict(server.url, "score", [x.tolist()])
+            np.testing.assert_allclose(
+                np.asarray(reply["outputs"][0]), np.tanh(x[None, :] @ W)[0],
+                rtol=1e-5, atol=1e-6)
+
+
+def test_lazy_repro_serving_attribute_in_fresh_process():
+    """``repro.serving`` / ``repro.saved_function`` attribute access must
+    work on a cold interpreter (the module __getattr__ path; a from-
+    import there used to recurse forever)."""
+    root = pathlib.Path(__file__).resolve().parent.parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(root / "src"), env.get("PYTHONPATH")) if p)
+    code = (
+        "import repro\n"
+        "assert repro.serving.ModelServer is not None\n"
+        "assert callable(repro.saved_function.save)\n"
+        "from repro import *\n"
+        "print('lazy-ok')\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True,
+        timeout=120, env=env)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "lazy-ok" in result.stdout
+
+
+def test_pretty_cache_reports_serving_status():
+    fn = _score_function("graph")
+    server = ModelServer()
+    server.add_signature("scorer", fn, repro.TensorSpec([None, 4], "float32"))
+    text = fn.pretty_cache()
+    assert "serving=scorer" in text
+    assert "<exportable>" in text
+    assert "[graph]" in text
