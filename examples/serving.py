@@ -1,20 +1,26 @@
 #!/usr/bin/env python
-"""Serving: train a model, export it, serve it to concurrent clients.
+"""Serving: train a model, export it, serve it, hot-swap its weights.
 
 The full deployment story built on the backend-neutral ``Executable``
 protocol:
 
   1. **train** — a ``@repro.function``-traced gradient-descent step
-     updates ``Variable`` weights (stateful: runs in-process only);
-  2. **export** — a separate pure inference function closes over the
-     trained variables; ``repro.saved_function.save`` freezes their
-     values into a self-contained artifact on disk;
-  3. **load** — the artifact rehydrates into an ``Executable`` without
+     updates ``Variable`` weights.  The weights are *captures* — runtime
+     inputs of the compiled plan — so every optimizer step is visible to
+     the next traced call with zero retraces;
+  2. **export** — the same inference function exports two ways:
+     ``freeze=True`` bakes the weights into a self-contained artifact,
+     ``freeze=False`` ships the graph plus a separate named weight
+     checkpoint;
+  3. **load** — artifacts rehydrate into ``Executable``s without
      retracing (and without the training code);
-  4. **serve** — ``repro.serving.ModelServer`` exposes it over
+  4. **serve** — ``repro.serving.ModelServer`` exposes them over
      HTTP/JSON, coalescing concurrent requests into micro-batches;
   5. **clients** — threads hit the server concurrently and the batch
-     statistics show the coalescing at work.
+     statistics show the coalescing at work;
+  6. **hot-swap** — ``POST /v1/models/<name>:swap_weights`` replaces the
+     served weights (and flips between registered versions) live, under
+     traffic, without a restart or a retrace.
 """
 
 import tempfile
@@ -96,6 +102,13 @@ def main():
         except Exception as e:  # noqa: BLE001
             errors.append(e)
 
+    # --- 6. hot-swap: a second version + live weight replacement ----------
+    swap_path = tempfile.mkdtemp(prefix="repro-saved-v2-")
+    save(predict, swap_path, repro.TensorSpec([None, N_FEATURES], "float32"),
+         freeze=False)  # graph + named weight checkpoint, not frozen
+    server.add_version("regress", load(swap_path), version="2",
+                       max_batch_size=8, batch_timeout=0.01)
+
     with server:
         threads = [threading.Thread(target=hit, args=(i,))
                    for i in range(n_clients)]
@@ -103,13 +116,36 @@ def main():
             t.start()
         for t in threads:
             t.join()
+        v1_stats = client.list_models(server.url)["models"]["regress"]
+        v1_batches = v1_stats["batch_stats"]
+        assert v1_batches["requests"] == n_clients * n_requests
+
+        # Activate version 2 (a pointer swap: zero retraces), then push
+        # doubled weights into it while the server keeps running.
+        client.swap_weights(server.url, "regress", version="2")
+        reply = client.swap_weights(
+            server.url, "regress",
+            weights={"w": (2.0 * W_TRUE).tolist(), "b": float(2.0 * B_TRUE)})
+        probe2 = np.ones(N_FEATURES, np.float32)
+        doubled = client.predict(
+            server.url, "regress", [probe2.tolist()])
+        want2 = 2.0 * float(probe2 @ W_TRUE[:, 0] + B_TRUE)
+        got2 = float(np.asarray(doubled["outputs"][0]).reshape(()))
+        assert abs(got2 - want2) < 2e-2, (got2, want2)
+        assert doubled["version"] == "2"
+        print(f"hot-swapped to version {reply['active_version']} with "
+              f"weights {reply['swapped']}: predicts {got2:.4f} "
+              f"(want {want2:.4f})")
+
         stats = client.list_models(server.url)["models"]["regress"]
     assert not errors, errors
-    batch_stats = stats["batch_stats"]
-    print(f"served {batch_stats['requests']} requests in "
-          f"{batch_stats['batches']} batches "
-          f"(largest batch: {batch_stats['max_batch_size']})")
-    assert batch_stats["requests"] == n_clients * n_requests
+    latency = stats["latency"]
+    print(f"served {stats['requests']} requests "
+          f"(p50 {latency['p50_ms']}ms, p99 {latency['p99_ms']}ms) "
+          f"across versions {stats['versions']}")
+    print(f"version-1 batching: {v1_batches['requests']} requests in "
+          f"{v1_batches['batches']} batches "
+          f"(largest batch: {v1_batches['max_batch_size']})")
     print("OK")
 
 

@@ -5,6 +5,15 @@ obtain their branch/body subgraphs: the Python callable runs once with
 symbolic placeholders, and any outer-graph tensor it touches is
 transparently *captured* (replaced by a placeholder recorded in
 ``captures``), becoming an extra runtime input of the enclosing op.
+
+Top-level trace graphs (``capture_external=True``, set by the
+``repro.function`` tracer) additionally capture *concrete* outside state
+— eager tensors and ``Variable`` reads — as **external captures**:
+internal placeholders recorded in an ordered list, deduplicated by
+source identity, whose runtime values are resolved fresh on every call.
+This is what makes a weight-carrying closure mutable without retracing:
+the weights are runtime inputs of the compiled plan, not baked ``Const``
+nodes.
 """
 
 from __future__ import annotations
@@ -16,19 +25,60 @@ from ..errors import GraphError
 from ..shapes import unknown
 from .graph import Graph, Tensor
 
-__all__ = ["FuncGraph", "trace_into_func_graph", "execute_func_graph"]
+__all__ = ["ExternalCapture", "FuncGraph", "trace_into_func_graph",
+           "execute_func_graph"]
+
+
+class ExternalCapture:
+    """One concrete value captured from outside a trace.
+
+    Attributes:
+      placeholder: the internal placeholder standing for the value.
+      kind: ``"variable"`` (re-read on every resolve) or ``"tensor"``
+        (an eager tensor snapshot).
+      source: the captured ``Variable`` or ``EagerTensor``.
+      name: a stable, capture-list-unique label (the variable's name, or
+        ``capture_<i>`` for anonymous tensors) used by non-frozen export
+        and weight hot-swapping.
+    """
+
+    __slots__ = ("placeholder", "kind", "source", "name")
+
+    def __init__(self, placeholder, kind, source, name):
+        self.placeholder = placeholder
+        self.kind = kind
+        self.source = source
+        self.name = name
+
+    def resolve(self):
+        """The capture's *current* runtime value (ndarray)."""
+        if self.kind == "variable":
+            return self.source._state.read()
+        return self.source.numpy()
+
+    def __repr__(self):
+        return (f"<ExternalCapture {self.name!r} kind={self.kind} "
+                f"dtype={self.placeholder.dtype.name} "
+                f"shape={self.placeholder.shape}>")
 
 
 class FuncGraph(Graph):
     """A graph produced by tracing a Python function."""
 
-    def __init__(self, name, outer_graph):
+    def __init__(self, name, outer_graph, capture_external=False):
         super().__init__(name=name)
         self.outer_graph = outer_graph
         # Parallel lists: captures[i] is the outer tensor whose runtime
         # value feeds capture_placeholders[i].
         self.captures = []
         self.capture_placeholders = []
+        # Whether concrete outside values (eager tensors, Variable reads)
+        # become ExternalCaptures instead of baked Const nodes.  True only
+        # for top-level trace graphs.
+        self.capture_external = capture_external
+        # Ordered ExternalCapture entries, deduplicated by source identity.
+        self.external_captures = []
+        self._external_capture_index = {}
         # Declared inputs (loop variables / branch parameters).
         self.inputs = []
         # Flat output tensors, set when tracing finishes.
@@ -69,6 +119,46 @@ class FuncGraph(Graph):
             self.capture_placeholders.append(ph)
             return ph
         raise GraphError(f"Cannot capture non-Tensor {tensor!r}")
+
+    # -- external (concrete-value) captures ---------------------------------
+
+    def _capture_concrete(self, source, kind, dtype, shape, name):
+        entry = self._external_capture_index.get(id(source))
+        if entry is not None:
+            return entry.placeholder
+        taken = {e.name for e in self.external_captures}
+        if name is None or name in taken:
+            base = name or "capture"
+            i = len(self.external_captures)
+            name = f"{base}_{i}"
+            while name in taken:
+                i += 1
+                name = f"{base}_{i}"
+        ph = self.placeholder(dtype, shape=shape, name=name)
+        entry = ExternalCapture(ph, kind, source, name)
+        self.external_captures.append(entry)
+        self._external_capture_index[id(source)] = entry
+        return ph
+
+    def capture_eager(self, tensor):
+        """Capture an eager tensor as a runtime input (placeholder).
+
+        The placeholder is fed ``tensor``'s value on every call, so
+        in-place updates of the underlying array stay visible without a
+        retrace.  Deduplicated by tensor identity.
+        """
+        return self._capture_concrete(
+            tensor, "tensor", tensor.dtype, tensor.shape, name=None)
+
+    def capture_variable(self, var):
+        """Capture a ``Variable`` read as a runtime input (placeholder).
+
+        The variable is *re-read* on every call, so assignments between
+        calls (optimizer steps, weight hot-swaps) are visible to the
+        compiled plan with no retrace.  Deduplicated by variable identity.
+        """
+        return self._capture_concrete(
+            var, "variable", var.dtype, var.shape, name=var.name)
 
 
 def trace_into_func_graph(fn, arg_specs, name, outer_graph):

@@ -5,14 +5,19 @@ it as JSON-able dictionaries plus an ndarray pool, the repo's analogue
 of TensorFlow's ``GraphDef`` + checkpoint pair; ``graph_from_def``
 rebuilds an executable graph in a fresh process from that data.
 
-Serialization is *freezing*: variable-read ops are replaced by ``Const``
-nodes holding the variable's current value, so the artifact is
-self-contained and the loading process needs none of the exporting
-process's per-variable op registrations.  Ops with other side effects
-(assigns, random draws, staged prints) are refused — an exported
-signature is a pure function of its inputs.  Functional control flow
-(``Cond*`` / ``While*``) is supported: the branch/body ``FuncGraph``s
-stored in their attrs are encoded recursively.
+Closed-over state serializes two ways.  *Freezing* (the default path):
+capture placeholders listed in ``freeze_placeholders`` — and legacy
+variable-read ops (still staged inside control-flow bodies) — are
+replaced by ``Const`` nodes holding the current value, so the artifact
+is self-contained and the loading process needs none of the exporting
+process's per-variable op registrations.  *Non-frozen* export instead
+keeps capture placeholders as ordinary graph inputs; the caller ships
+their values as a separate checkpoint and the loaded artifact can
+hot-swap them.  Ops with other side effects (assigns, random draws,
+staged prints) are refused — an exported signature is a pure function
+of its inputs.  Functional control flow (``Cond*`` / ``While*``) is
+supported: the branch/body ``FuncGraph``s stored in their attrs are
+encoded recursively.
 """
 
 from __future__ import annotations
@@ -102,9 +107,22 @@ def _tensor_ref(tensor):
     return f"{tensor.op.name}:{tensor.value_index}"
 
 
-def _encode_nodes(graph, arrays):
+def _encode_nodes(graph, arrays, freeze_placeholders=None):
+    freeze_placeholders = freeze_placeholders or {}
     nodes = []
     for op in graph.ops:
+        if op.type == "Placeholder" and id(op.outputs[0]) in freeze_placeholders:
+            # Freeze a capture placeholder: the artifact bakes the
+            # capture's current value as a constant.
+            value = np.asarray(freeze_placeholders[id(op.outputs[0])])
+            nodes.append({
+                "name": op.name,
+                "type": "Const",
+                "inputs": [],
+                "control_inputs": [],
+                "attrs": {"value": _encode_attr(value, arrays)},
+            })
+            continue
         if _is_variable_read(op):
             # Freeze: the read kernel takes no inputs and returns the
             # variable's live value — bake it as a constant.
@@ -161,7 +179,8 @@ def _encode_func_graph(fg, arrays):
     }
 
 
-def graph_to_def(graph, inputs, outputs, arrays=None):
+def graph_to_def(graph, inputs, outputs, arrays=None,
+                 freeze_placeholders=None):
     """Encode ``graph`` as JSON-able data plus an ndarray pool.
 
     Args:
@@ -170,6 +189,9 @@ def graph_to_def(graph, inputs, outputs, arrays=None):
       inputs: placeholder tensors forming the signature, in feed order.
       outputs: tensors forming the results, in fetch order.
       arrays: optional existing ndarray pool to append to.
+      freeze_placeholders: optional ``{placeholder tensor: value}`` —
+        those Placeholder nodes encode as ``Const`` nodes holding the
+        value (how frozen export bakes capture placeholders).
 
     Returns:
       ``(graph_def, arrays)`` — a JSON-able dict and the array pool it
@@ -180,10 +202,14 @@ def graph_to_def(graph, inputs, outputs, arrays=None):
         unserializable attrs.
     """
     arrays = {} if arrays is None else arrays
+    frozen = (
+        {id(t): v for t, v in freeze_placeholders.items()}
+        if freeze_placeholders else None
+    )
     graph_def = {
         "format_version": FORMAT_VERSION,
         "name": graph.name,
-        "nodes": _encode_nodes(graph, arrays),
+        "nodes": _encode_nodes(graph, arrays, frozen),
         "inputs": [_tensor_ref(t) for t in inputs],
         "outputs": [_tensor_ref(t) for t in outputs],
     }

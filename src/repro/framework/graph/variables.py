@@ -43,11 +43,15 @@ class VariableState:
         return self.value
 
     def add(self, delta):
-        self.value = self.read() + np.asarray(delta)
+        # np.asarray: 0-d arithmetic yields numpy *scalars*, whose
+        # identity is unstable under re-wrapping — the eager value cache
+        # (and with it tape gradients w.r.t. scalar variables) needs the
+        # stored value to be the one ndarray object it hands out.
+        self.value = np.asarray(self.read() + np.asarray(delta))
         return self.value
 
     def sub(self, delta):
-        self.value = self.read() - np.asarray(delta)
+        self.value = np.asarray(self.read() - np.asarray(delta))
         return self.value
 
 
@@ -143,9 +147,17 @@ class Variable(TensorOpsMixin):
         g = context.get_default_graph()
         cached = self._graph_reads.get(id(g))
         if cached is None:
-            op = g.create_op(self._read_op_name, [], {}, name=f"{self._name}/read")
-            cached = op.outputs[0]
-            cached.set_shape(self._shape)
+            if getattr(g, "capture_external", False):
+                # Top-level trace graph: the read is an external capture —
+                # a runtime input re-resolved (re-read) on every call —
+                # so assignments between calls are visible with no
+                # retrace, and export can either freeze or checkpoint it.
+                cached = g.capture_variable(self)
+            else:
+                op = g.create_op(
+                    self._read_op_name, [], {}, name=f"{self._name}/read")
+                cached = op.outputs[0]
+                cached.set_shape(self._shape)
             self._graph_reads[id(g)] = cached
             # Let graph consumers (e.g. the repro.function tracing JIT)
             # discover which variables a trace reads, and where.

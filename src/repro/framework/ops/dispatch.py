@@ -70,7 +70,9 @@ def as_graph_tensor(value, graph):
     """Coerce ``value`` to a tensor belonging to ``graph``.
 
     Symbolic tensors of ancestor graphs are captured (when ``graph`` is a
-    FuncGraph); concrete values become Const nodes.
+    FuncGraph); eager tensors become *external captures* (runtime inputs)
+    in capture-enabled trace graphs and Const nodes everywhere else;
+    other concrete values become Const nodes.
     """
     from ..graph.variables import Variable
 
@@ -87,6 +89,8 @@ def as_graph_tensor(value, graph):
         with graph.as_default():
             return value.value()
     if isinstance(value, EagerTensor):
+        if getattr(graph, "capture_external", False):
+            return graph.capture_eager(value)
         return graph.constant(value.numpy())
     return graph.constant(value)
 

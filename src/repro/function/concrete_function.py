@@ -19,9 +19,18 @@ inputs, then freezing the outcome:
 Stateful ops staged during the trace (variable assigns, staged prints)
 are added to the run fetches even when no returned tensor depends on
 them, so a traced training step really updates its variables.
+
+Closed-over state — eager tensors and ``Variable`` reads — is recorded
+as **captures**: runtime inputs resolved fresh (Variables re-read) on
+every call, not constants baked at trace time.  An optimizer stepping a
+captured variable is therefore visible to the next call with
+``trace_count`` staying at 1, and :meth:`~ConcreteFunction.
+set_capture_values` hot-swaps the weights atomically with zero retraces.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -76,7 +85,7 @@ def trace_func_graph(python_function, canonical, name, autograph=True):
       ``(func_graph, placeholders, result)`` — the traced graph, its
       input placeholders, and the function's structured return value.
     """
-    fg = FuncGraph(f"{name}_graph", outer_graph=None)
+    fg = FuncGraph(f"{name}_graph", outer_graph=None, capture_external=True)
     converted = _convert_for_trace(python_function, autograph)
     with fg.as_default():
         placeholders = [
@@ -167,10 +176,16 @@ class ConcreteFunction(Executable):
         self._output_structure = result
         fg.flat_outputs = list(tensor_outs)
         self.graph = fg
-        # Variables read at the top level of the trace: their reads are
-        # extra differentiation targets for the tape bridge, and their
-        # eager values join the recorded op's inputs.
-        self._variable_reads = list(fg.get_collection("variable_reads"))
+        # External captures: eager tensors and Variable reads the trace
+        # closed over, now runtime inputs resolved fresh on every call.
+        self._captures = list(fg.external_captures)
+        # Variables read at the top level of the trace: their capture
+        # placeholders are extra differentiation targets for the tape
+        # bridge, and their eager values join the recorded op's inputs.
+        self._variable_reads = [
+            (c.source, c.placeholder) for c in self._captures
+            if c.kind == "variable"
+        ]
         self._created_variables = list(fg.get_collection("variables"))
 
         # Side effects must survive plan pruning: fetch every stateful op
@@ -182,7 +197,9 @@ class ConcreteFunction(Executable):
         ]
 
         # -- 2. optimize ----------------------------------------------------
-        anchors = (tensor_outs + self._state_fetches_traced + placeholders)
+        capture_phs = [c.placeholder for c in self._captures]
+        anchors = (tensor_outs + self._state_fetches_traced + placeholders
+                   + capture_phs)
         if optimize and anchors:
             opt_graph, fmap = optimize_graph(fg, anchors)
             remap = fmap.__getitem__
@@ -194,6 +211,10 @@ class ConcreteFunction(Executable):
         # -- 3. the cached execution plan ------------------------------------
         self._session = Session(opt_graph)
         self._feeds = [remap(ph) for ph in placeholders]
+        self._capture_feeds = [remap(ph) for ph in capture_phs]
+        # Guards capture reads/writes so a weight hot-swap is atomic with
+        # respect to the snapshot one call feeds its session run.
+        self._capture_lock = threading.Lock()
         self._output_fetches = [remap(t) for t in tensor_outs]
         self._run_fetches = self._output_fetches + [
             remap(t) for t in self._state_fetches_traced
@@ -226,6 +247,60 @@ class ConcreteFunction(Executable):
                 out.append(v)
         return out
 
+    # -- captures -------------------------------------------------------------
+
+    @property
+    def captures(self):
+        """Ordered external captures (eager tensors / Variable reads)."""
+        return list(self._captures)
+
+    def capture_values(self):
+        """Current capture values, by capture name."""
+        with self._capture_lock:
+            return {c.name: np.asarray(c.resolve()) for c in self._captures}
+
+    def set_capture_values(self, mapping):
+        """Atomically replace capture values (weight hot-swap, no retrace).
+
+        Args:
+          mapping: capture name -> array-like.  Variable captures are
+            assigned; eager-tensor captures are updated in place (shapes
+            must match).  Unknown names raise ``KeyError``.
+        """
+        by_name = {c.name: c for c in self._captures}
+        staged = []
+        for name, value in mapping.items():
+            entry = by_name.get(name)
+            if entry is None:
+                raise KeyError(
+                    f"{self.name!r} has no capture named {name!r}; "
+                    f"captures: {sorted(by_name)}"
+                )
+            value = np.asarray(
+                value, dtype=entry.placeholder.dtype.np_dtype)
+            if not entry.placeholder.shape.is_compatible_with(value.shape):
+                raise ValueError(
+                    f"Capture {name!r} expects shape "
+                    f"{entry.placeholder.shape}, got {value.shape}"
+                )
+            staged.append((entry, value))
+        with self._capture_lock:
+            for entry, value in staged:
+                if entry.kind == "variable":
+                    entry.source._state.write(value)
+                    entry.source._eager_value_cache = None
+                else:
+                    # Rebind the eager tensor's buffer, don't write into
+                    # it: an in-flight run (or a caller holding .numpy())
+                    # keeps the consistent array it already read.
+                    entry.source._value = value
+
+    def _resolved_captures(self):
+        if not self._captures:
+            return ()
+        with self._capture_lock:
+            return tuple(c.resolve() for c in self._captures)
+
     # -- export ---------------------------------------------------------------
 
     def _check_exportable(self):
@@ -241,8 +316,15 @@ class ConcreteFunction(Executable):
             )
         self._export_output_parts()
 
-    def export_spec(self):
-        """Serialize this trace: optimized graph + frozen variable values."""
+    def export_spec(self, freeze=True):
+        """Serialize this trace.
+
+        ``freeze=True`` (default) bakes the capture placeholders' current
+        values into the graph as constants — a self-contained artifact.
+        ``freeze=False`` keeps them as named extra inputs and ships their
+        current values as a separate weight checkpoint, so the loaded
+        artifact's weights can be hot-swapped without retracing.
+        """
         from ..framework.graph.serialize import (
             GraphSerializationError, graph_to_def)
 
@@ -250,9 +332,28 @@ class ConcreteFunction(Executable):
         # stateful-op walk itself and raises with an equivalent message,
         # so pre-flighting would just scan the graph twice per save.
         template, descriptor = self._export_output_parts()
+        with self._capture_lock:
+            values = [np.asarray(c.resolve()) for c in self._captures]
+        captures = []
+        arrays = {}
         try:
-            graph_def, arrays = graph_to_def(
-                self.optimized_graph, self._feeds, self._output_fetches)
+            if freeze:
+                graph_def, arrays = graph_to_def(
+                    self.optimized_graph, self._feeds, self._output_fetches,
+                    freeze_placeholders=dict(
+                        zip(self._capture_feeds, values)),
+                )
+            else:
+                for i, (entry, value) in enumerate(
+                        zip(self._captures, values)):
+                    key = f"capture_{i}"
+                    arrays[key] = value
+                    captures.append({"name": entry.name, "key": key})
+                graph_def, arrays = graph_to_def(
+                    self.optimized_graph,
+                    self._feeds + self._capture_feeds,
+                    self._output_fetches, arrays=arrays,
+                )
         except GraphSerializationError as e:
             raise ExportError(str(e)) from e
         return ExportSpec(
@@ -263,6 +364,7 @@ class ConcreteFunction(Executable):
             output_descriptor=descriptor,
             payload={"graph_def": graph_def},
             arrays=arrays,
+            captures=captures,
         )
 
     # -- execution -----------------------------------------------------------
@@ -309,8 +411,13 @@ class ConcreteFunction(Executable):
             tuple(v.value() for v, _ in self._variable_reads)
             if tape_active else ()
         )
-        result, tensor_outputs = self._run(canonical.tensor_values())
+        capture_snapshot = self._resolved_captures()
+        result, tensor_outputs = self._run(
+            canonical.tensor_values(), capture_snapshot)
         if tape_active and tensor_outputs:
+            # The record carries the exact capture snapshot this run fed
+            # its plan, so the backward pass replays against the weights
+            # the forward pass actually saw even if they swap in between.
             eager_inputs = tuple(
                 leaf if isinstance(leaf, EagerTensor)
                 else EagerTensor(np.asarray(leaf))
@@ -318,18 +425,25 @@ class ConcreteFunction(Executable):
                              for i in canonical.tensor_indices)
             ) + var_inputs
             self._record_on_tape(
-                f"{self.name}_call", self._grad_fn, eager_inputs,
+                f"{self.name}_call",
+                self._make_grad_fn(capture_snapshot), eager_inputs,
                 tensor_outputs)
         return result
 
     def call_flat(self, tensor_values):
         """Run the compiled plan on flat tensor-leaf values."""
-        result, _ = self._run(tensor_values)
+        result, _ = self._run(tensor_values, self._resolved_captures())
         return result
 
-    def _run(self, tensor_values):
-        fetched = self._session.run(
-            self._run_fetches, dict(zip(self._feeds, tensor_values)))
+    def _run(self, tensor_values, capture_values):
+        feed = dict(zip(self._feeds, tensor_values))
+        if self._captures:
+            # One atomic snapshot of the capture values per call: swaps
+            # rebind arrays (never write into them), so a concurrent
+            # hot-swap lands either wholly before or wholly after this
+            # run, never half-way.
+            feed.update(zip(self._capture_feeds, capture_values))
+        fetched = self._session.run(self._run_fetches, feed)
         tensor_outputs = tuple(
             EagerTensor(fetched[i]) for i in range(len(self._output_fetches)))
         return self._pack_outputs(tensor_outputs), tensor_outputs
@@ -348,12 +462,13 @@ class ConcreteFunction(Executable):
             for t in fg.flat_outputs
         ]
         # Differentiate with respect to both the declared inputs and the
-        # tensors read from variables, in recorded-input order.
+        # capture placeholders of variable reads, in recorded-input order.
         targets = list(fg.inputs) + [rt for _, rt in self._variable_reads]
         in_grads = graph_gradients(
             list(fg.flat_outputs), targets, grad_ys=seeds)
         live = [g for g in in_grads if g is not None]
-        anchors = live + list(fg.inputs) + seeds
+        capture_phs = [c.placeholder for c in self._captures]
+        anchors = live + list(fg.inputs) + seeds + capture_phs
         if self._optimize and live:
             bw_graph, fmap = optimize_graph(fg, anchors)
             remap = fmap.__getitem__
@@ -365,25 +480,34 @@ class ConcreteFunction(Executable):
             [remap(ph) for ph in fg.inputs],
             [remap(s) for s in seeds],
             [None if g is None else remap(g) for g in in_grads],
+            [remap(ph) for ph in capture_phs],
         )
         return self._backward
 
-    def _grad_fn(self, record, *out_grads):
-        sess, in_phs, seed_phs, grad_ts = self._ensure_backward()
-        feed = {}
-        # record.inputs = tensor leaves then variable reads; only the
-        # leaves feed placeholders (variable reads re-execute in the
-        # backward graph against live state).
-        for ph, v in zip(in_phs, record.inputs[:len(in_phs)]):
-            feed[ph] = v.numpy()
-        for ph, g in zip(seed_phs, out_grads):
-            feed[ph] = g.numpy() if isinstance(g, EagerTensor) else g
-        live = [g for g in grad_ts if g is not None]
-        fetched = iter(sess.run(live, feed)) if live else iter(())
-        return [
-            None if g is None else EagerTensor(next(fetched))
-            for g in grad_ts
-        ]
+    def _make_grad_fn(self, capture_snapshot):
+        def grad_fn(record, *out_grads):
+            sess, in_phs, seed_phs, grad_ts, cap_phs = \
+                self._ensure_backward()
+            feed = {}
+            # record.inputs = tensor leaves then variable pre-call
+            # values; the leaves feed input placeholders.  Captures feed
+            # the snapshot the forward run used (swaps rebind arrays, so
+            # the snapshot is immutable), which keeps the backward pass
+            # at the weights the forward pass actually saw even if an
+            # optimizer stepped or hot-swapped them in between.
+            for ph, v in zip(in_phs, record.inputs[:len(in_phs)]):
+                feed[ph] = v.numpy()
+            feed.update(zip(cap_phs, capture_snapshot))
+            for ph, g in zip(seed_phs, out_grads):
+                feed[ph] = g.numpy() if isinstance(g, EagerTensor) else g
+            live = [g for g in grad_ts if g is not None]
+            fetched = iter(sess.run(live, feed)) if live else iter(())
+            return [
+                None if g is None else EagerTensor(next(fetched))
+                for g in grad_ts
+            ]
+
+        return grad_fn
 
     def __repr__(self):
         return (f"<ConcreteFunction {self.name!r} inputs="

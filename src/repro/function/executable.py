@@ -13,9 +13,13 @@ implements this one surface:
   the function's structured result;
 - ``variables`` — the mutable state the executable closes over (graph
   ``Variable``s or lantern ``Param``s; empty for frozen artifacts);
-- ``export_spec()`` — a serializable description of the compiled
-  artifact (or :class:`ExportError` when the trace cannot leave the
-  process).
+- ``captures`` / ``capture_values()`` / ``set_capture_values()`` — the
+  closed-over state lifted to runtime inputs, readable and atomically
+  hot-swappable (no retrace) where the backend supports it;
+- ``export_spec(freeze=True)`` — a serializable description of the
+  compiled artifact (or :class:`ExportError` when the trace cannot
+  leave the process); ``freeze=False`` keeps captures as named inputs
+  with a separate weight checkpoint.
 
 ``Function``'s cache, the ``GradientTape`` bridge, the micro-batcher and
 the model server are all written against this protocol, so the two
@@ -61,13 +65,16 @@ class ExportSpec:
         program).
       arrays: name -> ndarray pool referenced from the payload; stored
         out-of-band (``.npz``) by the saver.
+      captures: non-frozen exports only — one ``{"name", "key"}`` dict
+        per external capture, in feed order; ``key`` indexes the weight
+        checkpoint entry in ``arrays``.  Empty for frozen exports.
     """
 
     __slots__ = ("backend", "name", "input_specs", "output_template",
-                 "output_descriptor", "payload", "arrays")
+                 "output_descriptor", "payload", "arrays", "captures")
 
     def __init__(self, backend, name, input_specs, output_template,
-                 output_descriptor, payload, arrays):
+                 output_descriptor, payload, arrays, captures=()):
         self.backend = backend
         self.name = name
         self.input_specs = list(input_specs)
@@ -75,6 +82,7 @@ class ExportSpec:
         self.output_descriptor = output_descriptor
         self.payload = payload
         self.arrays = dict(arrays)
+        self.captures = list(captures)
 
 
 class ExecutableOpDef:
@@ -121,6 +129,28 @@ class Executable(abc.ABC):
     @abc.abstractmethod
     def export_spec(self):
         """Serializable :class:`ExportSpec`, or raise :class:`ExportError`."""
+
+    # -- captures ----------------------------------------------------------
+
+    @property
+    def captures(self):
+        """External state captured as runtime inputs (may be empty)."""
+        return []
+
+    def capture_values(self):
+        """Current capture values, by capture name."""
+        return {}
+
+    def set_capture_values(self, mapping):
+        """Atomically replace capture values (weight hot-swap).
+
+        Backends with captures override this; the default refuses,
+        naming the executable, so servers can surface a clear error.
+        """
+        if mapping:
+            raise KeyError(
+                f"{self.name!r} has no swappable captures"
+            )
 
     # -- shared conveniences ----------------------------------------------
 

@@ -31,6 +31,7 @@ import ast
 import inspect
 import re
 import textwrap
+import threading
 
 import numpy as np
 
@@ -307,6 +308,11 @@ class LanternConcreteFunction(Executable):
             fn_name = f"fn_{fn_name}"
         self._fn_name = fn_name
         self._param_kinds = [p for p in self._leaf_plan if p != "const"]
+        # External captures (graph-lowered route only; the staged route's
+        # state carriers are lantern Params, already mutable in place).
+        self._capture_entries = []
+        self._capture_params = []
+        self._capture_lock = threading.Lock()
 
         needs_staging = ("tree" in self._param_kinds
                          or detect_self_recursion(python_function)
@@ -422,7 +428,9 @@ class LanternConcreteFunction(Executable):
                 "backend — use backend='graph'"
             )
         self._output_structure = result
-        anchors = tensor_outs + placeholders
+        self._capture_entries = list(fg.external_captures)
+        capture_phs = [c.placeholder for c in self._capture_entries]
+        anchors = tensor_outs + placeholders + capture_phs
         if optimize and tensor_outs:
             opt_graph, fmap = optimize_graph(fg, anchors)
             remap = fmap.__getitem__
@@ -430,12 +438,25 @@ class LanternConcreteFunction(Executable):
             opt_graph = fg
             remap = lambda t: t  # noqa: E731
         self.optimized_graph = opt_graph
-        program, fdef = lower_graph(
+        program, fdef, capture_params = lower_graph(
             opt_graph,
             [remap(ph) for ph in placeholders],
             [remap(t) for t in tensor_outs],
             name=self._fn_name,
+            captures=[
+                (remap(c.placeholder), c.name, c.resolve())
+                for c in self._capture_entries
+            ],
         )
+        # entry -> the Param mirroring it in the compiled program; the
+        # Param's storage is refreshed from the capture source before
+        # every execution, so optimizer steps and weight hot-swaps are
+        # visible with no recompilation (same contract as the graph
+        # backend's capture feeds).
+        self._capture_params = [
+            (c, capture_params[c.name]) for c in self._capture_entries
+            if c.name in capture_params
+        ]
         self.program = program
         self._compiled = compile_program(program, with_grad=True)
         self._n_outputs = fdef.n_outputs
@@ -473,18 +494,120 @@ class LanternConcreteFunction(Executable):
         """The program's Params (lantern's state carriers)."""
         return list(self._compiled.params.values())
 
+    # -- captures -----------------------------------------------------------
+
+    @property
+    def captures(self):
+        """Ordered external captures (graph-lowered route; may be empty)."""
+        return list(self._capture_entries)
+
+    def capture_values(self):
+        """Current capture values (and staged-route Param values), by name."""
+        with self._capture_lock:
+            out = {c.name: np.asarray(c.resolve())
+                   for c in self._capture_entries}
+            for name, param in self._compiled.params.items():
+                out.setdefault(name, np.asarray(param.value))
+        return out
+
+    def set_capture_values(self, mapping):
+        """Atomically replace capture (or Param) values — no recompile.
+
+        Keys name either an external capture (graph-lowered route:
+        Variables / eager tensors, which are written through) or a
+        staged-route lantern Param (updated in place).
+        """
+        by_name = {c.name: c for c in self._capture_entries}
+        staged = []
+        for name, value in mapping.items():
+            entry = by_name.get(name)
+            if entry is None and name not in self._compiled.params:
+                known = sorted(set(by_name) | set(self._compiled.params))
+                raise KeyError(
+                    f"{self.name!r} has no capture or Param named "
+                    f"{name!r}; known: {known}"
+                )
+            value = np.asarray(value, np.float32)
+            # Validate every entry before writing any: a bad value in a
+            # multi-tensor swap must not leave the model half-swapped.
+            if entry is not None:
+                if not entry.placeholder.shape.is_compatible_with(
+                        value.shape):
+                    raise ValueError(
+                        f"Capture {name!r} expects shape "
+                        f"{entry.placeholder.shape}, got {value.shape}"
+                    )
+            else:
+                expect = self._compiled.params[name].value.shape
+                if value.shape != expect:
+                    raise ValueError(
+                        f"Param {name!r} expects shape {expect}, "
+                        f"got {value.shape}"
+                    )
+            staged.append((entry, name, value))
+        with self._capture_lock:
+            for entry, name, value in staged:
+                if entry is not None:
+                    if entry.kind == "variable":
+                        entry.source._state.write(value)
+                        entry.source._eager_value_cache = None
+                    else:
+                        # Rebind, don't mutate: an in-flight call keeps
+                        # the consistent array it already read.
+                        entry.source._value = value
+                else:
+                    self._rebind_param(self._compiled.params[name], value)
+            self._sync_captures_locked()
+
+    def _rebind_param(self, param, value):
+        # Rebinding (not writing into) the Param's storage keeps a
+        # concurrently executing compiled call on the array it already
+        # read; _P must follow the rebind since it was built from the
+        # old array object.
+        param.value = value
+        self._compiled.namespace["_P"][param.name] = value
+
+    def _sync_captures_locked(self):
+        for entry, param in self._capture_params:
+            value = np.asarray(entry.resolve(), np.float32)
+            if value is not param.value:
+                self._rebind_param(param, value)
+
+    def _sync_captures(self):
+        """Refresh capture Params from their sources before executing."""
+        if not self._capture_params:
+            return
+        with self._capture_lock:
+            self._sync_captures_locked()
+
     # -- export -------------------------------------------------------------
 
-    def export_spec(self):
-        """Serialize the staged program with frozen Param values."""
+    def export_spec(self, freeze=True):
+        """Serialize the staged program with current Param values.
+
+        Lantern programs always checkpoint Params separately from the
+        instruction payload, so ``freeze`` only controls whether the
+        artifact *advertises* them as swappable captures
+        (``freeze=False``) or as baked state (``freeze=True``).
+        """
         from ..lantern.serialize import (
             LanternSerializationError, program_to_payload)
 
         template, descriptor = self._export_output_parts()
+        self._sync_captures()
         try:
             payload, arrays = program_to_payload(self.program)
         except LanternSerializationError as e:
             raise ExportError(str(e)) from e
+        captures = []
+        if not freeze:
+            public = {p.name: c.name for c, p in self._capture_params}
+            for param_name, key in payload["params"].items():
+                captures.append({
+                    "name": public.get(param_name, param_name),
+                    "key": key,
+                    "param": param_name,
+                })
         payload = {"program": payload, "entry": self._fn_name}
         return ExportSpec(
             backend="lantern",
@@ -494,6 +617,7 @@ class LanternConcreteFunction(Executable):
             output_descriptor=descriptor,
             payload=payload,
             arrays=arrays,
+            captures=captures,
         )
 
     def _check_exportable(self):
@@ -541,21 +665,31 @@ class LanternConcreteFunction(Executable):
                 args.append(leaf)
         return args
 
+    def _variable_capture_params(self):
+        return [(c, p) for c, p in self._capture_params
+                if c.kind == "variable"]
+
     def _call_canonical(self, canonical):
+        tape_active = bool(tape_module._TAPE_STACK)
+        # Pre-call variable values: the tape watches these eager reads.
+        var_caps = self._variable_capture_params() if tape_active else []
+        var_inputs = tuple(c.source.value() for c, _ in var_caps)
+        self._sync_captures()
         out = self._compiled.namespace[self._fn_name](
             *self._runtime_args(canonical))
         results, bwd = out[:-1], out[-1]
         tensor_outputs = tuple(
             EagerTensor(np.asarray(r)) for r in results)
-        if tape_module._TAPE_STACK and tensor_outputs:
+        if tape_active and tensor_outputs:
             eager_inputs = tuple(
                 leaf if isinstance(leaf, EagerTensor)
                 else EagerTensor(np.asarray(leaf))
                 for leaf, plan in zip(canonical.flat_leaves, self._leaf_plan)
                 if plan == "tensor"
-            )
+            ) + var_inputs
             self._record_on_tape(
-                f"{self.name}_lantern_call", self._make_grad_fn(bwd),
+                f"{self.name}_lantern_call",
+                self._make_grad_fn(bwd, var_caps),
                 eager_inputs, tensor_outputs)
         return self._pack_outputs(tensor_outputs)
 
@@ -566,6 +700,7 @@ class LanternConcreteFunction(Executable):
         numeric arrays for ``TensorSpec`` slots, tree data for ``"Tree"``
         slots — mirroring the graph backend's ``call_flat``.
         """
+        self._sync_captures()
         out = self._compiled.namespace[self._fn_name](*[
             a.numpy() if isinstance(a, EagerTensor) else a
             for a in flat_args
@@ -585,6 +720,7 @@ class LanternConcreteFunction(Executable):
             self._py_signature, args, kwargs)
         canonical, _ = lanternize_signature(canonical)
         self._check_compatible(canonical)
+        self._sync_captures()
         out = self._compiled.namespace[self._fn_name](
             *self._runtime_args(canonical))
         results, bwd = out[:-1], out[-1]
@@ -598,7 +734,7 @@ class LanternConcreteFunction(Executable):
         """Zero the program's Param gradient slots (PyTorch-style)."""
         self._compiled.zero_grads()
 
-    def _make_grad_fn(self, bwd):
+    def _make_grad_fn(self, bwd, var_caps=()):
         def grad_fn(record, *out_grads):
             seeds = [
                 g.numpy() if isinstance(g, EagerTensor) else np.asarray(g)
@@ -612,12 +748,19 @@ class LanternConcreteFunction(Executable):
             # (A call is only replayed if a *watched* tensor feeds it —
             # Params are invisible to the tape; Param-only training
             # should use ``call_with_grad``.)
+            slots = self._compiled.namespace["_G"]
+            before = [slots[p.name].copy() for _, p in var_caps]
             d_params = bwd(*seeds)
             self._compiled.sync_param_grads()
             grads = []
             for pos, kind in enumerate(self._param_kinds):
                 if kind == "tensor":
                     grads.append(EagerTensor(np.asarray(d_params[pos])))
+            # Variable-capture gradients: this call's contribution is the
+            # delta its continuation accumulated into the Param slot
+            # (the slot itself may carry other replayed calls' grads).
+            for (_, p), pre in zip(var_caps, before):
+                grads.append(EagerTensor(np.asarray(slots[p.name] - pre)))
             return grads
 
         return grad_fn

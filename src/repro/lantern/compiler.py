@@ -83,9 +83,15 @@ _FWD = {
     "sum": "np.sum({0})",
     "sum0": "np.sum({0}, axis=0)",
     "sum1": "np.sum({0}, axis=1)",
+    "sumk": "np.sum({0}, keepdims=True)",
+    "sum0k": "np.sum({0}, axis=0, keepdims=True)",
+    "sum1k": "np.sum({0}, axis=1, keepdims=True)",
     "mean": "np.mean({0})",
     "mean0": "np.mean({0}, axis=0)",
     "mean1": "np.mean({0}, axis=1)",
+    "meank": "np.mean({0}, keepdims=True)",
+    "mean0k": "np.mean({0}, axis=0, keepdims=True)",
+    "mean1k": "np.mean({0}, axis=1, keepdims=True)",
     "xent": "_xent({0}, {1})",
     "not": "not {0}",
 }
@@ -359,14 +365,17 @@ class _FunctionCompiler:
             split = f"np.shape({a})[1]"
             grads.accum(emitter, indent, a, f"({g})[:, :{split}]")
             grads.accum(emitter, indent, b, f"({g})[:, {split}:]")
-        elif op == "sum":
+        elif op in ("sum", "sumk"):
             grads.accum(emitter, indent, a, f"{g} * np.ones_like({a})")
         elif op in ("sum0", "sum1"):
             axis = 0 if op == "sum0" else 1
             grads.accum(
                 emitter, indent, a,
                 f"np.expand_dims({g}, {axis}) * np.ones_like({a})")
-        elif op == "mean":
+        elif op in ("sum0k", "sum1k"):
+            # keepdims output broadcasts straight back over the input.
+            grads.accum(emitter, indent, a, f"{g} * np.ones_like({a})")
+        elif op in ("mean", "meank"):
             grads.accum(
                 emitter, indent, a,
                 f"{g} * np.ones_like({a}) / np.size({a})")
@@ -376,6 +385,11 @@ class _FunctionCompiler:
                 emitter, indent, a,
                 f"np.expand_dims({g}, {axis}) * np.ones_like({a}) "
                 f"/ np.shape({a})[{axis}]")
+        elif op in ("mean0k", "mean1k"):
+            axis = 0 if op == "mean0k" else 1
+            grads.accum(
+                emitter, indent, a,
+                f"{g} * np.ones_like({a}) / np.shape({a})[{axis}]")
         elif op == "xent":
             tmp = f"_sm{self._fresh_idx()}"
             emitter.emit(indent, f"{tmp} = _softmax({a})")

@@ -56,9 +56,15 @@ OPS = {
     "sum": 1,
     "sum0": 1,      # reduce along axis 0 (keepdims=False)
     "sum1": 1,      # reduce along axis 1 (keepdims=False)
+    "sumk": 1,      # full reduction, keepdims=True
+    "sum0k": 1,     # reduce along axis 0, keepdims=True
+    "sum1k": 1,     # reduce along axis 1, keepdims=True
     "mean": 1,
     "mean0": 1,
     "mean1": 1,
+    "meank": 1,     # full reduction, keepdims=True
+    "mean0k": 1,    # reduce along axis 0, keepdims=True
+    "mean1k": 1,    # reduce along axis 1, keepdims=True
     "xent": 2,      # sparse softmax cross entropy: (logits, label) -> scalar
 }
 

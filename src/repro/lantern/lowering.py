@@ -21,9 +21,11 @@ from __future__ import annotations
 
 import numpy as np
 
+import re
+
 from repro.framework.errors import ExecutionError
 
-from .ir import Builder, FunctionDef, Program, StagedValue
+from .ir import Builder, FunctionDef, Param, Program, StagedValue
 
 __all__ = ["GRAPH_TO_LANTERN", "LanternLoweringError", "lower_graph",
            "lower_op_call"]
@@ -58,12 +60,15 @@ GRAPH_TO_LANTERN = {
     "Transpose": "transpose",
 }
 
-# Reductions lower whole-tensor (axis=None -> scalar) or along axis 0/1
-# (keepdims=False); Lantern values are at most rank 2, so those two axes
-# cover every axis-wise form a lowerable graph can produce.
+# Reductions lower whole-tensor (axis=None -> scalar) or along axis 0/1,
+# with or without keepdims; Lantern values are at most rank 2, so those
+# two axes cover every axis-wise form a lowerable graph can produce.
+# Negative axes normalize against the input's static rank when known.
 _REDUCTIONS = {"Sum": "sum", "Mean": "mean"}
-_AXIS_REDUCTIONS = {("Sum", 0): "sum0", ("Sum", 1): "sum1",
-                    ("Mean", 0): "mean0", ("Mean", 1): "mean1"}
+_AXIS_REDUCTIONS = {("Sum", 0, False): "sum0", ("Sum", 1, False): "sum1",
+                    ("Sum", 0, True): "sum0k", ("Sum", 1, True): "sum1k",
+                    ("Mean", 0, False): "mean0", ("Mean", 1, False): "mean1",
+                    ("Mean", 0, True): "mean0k", ("Mean", 1, True): "mean1k"}
 _CONCATS = {0: "concat0", 1: "concat1"}
 
 
@@ -78,23 +83,37 @@ def _unsupported(op_type, detail=""):
     )
 
 
-def _emit_simple(builder, op_type, args, attrs):
-    """Emit one translated op; ``args`` are staged values/convertibles."""
+def _emit_simple(builder, op_type, args, attrs, rank=None):
+    """Emit one translated op; ``args`` are staged values/convertibles.
+
+    ``rank`` is the first input's static rank when the caller knows it
+    (graph lowering reads it off the tensor; the staged route passes it
+    for concrete inputs) — it is what lets negative reduction axes
+    normalize to 0/1.
+    """
     attrs = attrs or {}
     if op_type in _REDUCTIONS:
-        if attrs.get("keepdims"):
-            raise _unsupported(op_type, "keepdims=True is not lowerable")
+        keepdims = bool(attrs.get("keepdims"))
         axis = attrs.get("axis")
         if isinstance(axis, (list, tuple)):
             axis = axis[0] if len(axis) == 1 else axis
         if axis is None:
-            return builder.emit(_REDUCTIONS[op_type], args[0])
-        lantern_op = _AXIS_REDUCTIONS.get((op_type, axis))
+            op = _REDUCTIONS[op_type] + ("k" if keepdims else "")
+            return builder.emit(op, args[0])
+        if isinstance(axis, int) and axis < 0:
+            if rank is None:
+                raise _unsupported(
+                    op_type,
+                    f"axis={axis!r} without a statically known rank; "
+                    "negative axes normalize only when the input's rank "
+                    "is known at lowering time")
+            axis = axis + rank
+        lantern_op = _AXIS_REDUCTIONS.get((op_type, axis, keepdims))
         if lantern_op is None:
             raise _unsupported(
                 op_type,
-                f"axis={axis!r}; only axis=None (full), 0 or 1 lower "
-                "(negative axes need a rank the IR does not track)")
+                f"axis={axis!r} keepdims={keepdims}; only axis=None "
+                "(full), 0 or 1 (possibly negative with known rank) lower")
         return builder.emit(lantern_op, args[0])
     if op_type == "MatMul":
         a, b = args
@@ -139,11 +158,14 @@ def lower_op_call(builder, op_type, inputs, attrs):
         if isinstance(value, EagerTensor):
             value = value.numpy()
         args.append(value)
-    return _emit_simple(builder, op_type, args, attrs)
+    rank = None
+    if args and not isinstance(args[0], StagedValue):
+        rank = np.ndim(args[0])
+    return _emit_simple(builder, op_type, args, attrs, rank=rank)
 
 
 def lower_graph(graph, inputs, outputs, *, name="main", program=None,
-                builder=None):
+                builder=None, captures=None):
     """Translate a traced graph into a Lantern function, via a Builder.
 
     Args:
@@ -152,9 +174,15 @@ def lower_graph(graph, inputs, outputs, *, name="main", program=None,
       outputs: graph tensors that become the function's results.
       name: IR function name.
       program/builder: optional existing Program/Builder to lower into.
+      captures: optional ``[(placeholder, name, initial_value), ...]`` —
+        external-capture placeholders that lower to lantern ``Param``
+        references instead of function parameters, so the compiled
+        program shares mutable storage with the capture's source.
 
     Returns:
-      ``(program, fdef)`` — the Program and the new FunctionDef.
+      ``(program, fdef, capture_params)`` — the Program, the new
+      FunctionDef, and ``{capture name: Param}`` for the lowered
+      captures.
 
     Raises:
       LanternLoweringError: an op in the graph has no Lantern equivalent.
@@ -171,6 +199,17 @@ def lower_graph(graph, inputs, outputs, *, name="main", program=None,
     fdef = FunctionDef(name, param_syms, ["tensor"] * len(inputs),
                        len(outputs))
     program.functions[name] = fdef
+    capture_params = {}
+    capture_plan = {}
+    for ph, cap_name, value in captures or ():
+        ir_name = re.sub(r"\W", "_", cap_name) or "capture"
+        taken = set(program.params) | {p.name for p, _ in
+                                       capture_plan.values()}
+        unique, i = ir_name, 1
+        while unique in taken:
+            unique = f"{ir_name}_{i}"
+            i += 1
+        capture_plan[id(ph)] = (Param(unique, value), cap_name)
     builder.push_block(fdef.block)
     try:
         env = {}
@@ -188,6 +227,13 @@ def lower_graph(graph, inputs, outputs, *, name="main", program=None,
 
         for op in graph.ops:
             if op.type == "Placeholder":
+                planned = capture_plan.get(id(op.outputs[0]))
+                if planned is not None:
+                    param, cap_name = planned
+                    staged = builder.emit_param(param)
+                    env[id(op.outputs[0])] = staged.sym
+                    capture_params[cap_name] = param
+                    continue
                 if id(op.outputs[0]) not in env:
                     raise _unsupported(
                         "Placeholder",
@@ -203,7 +249,9 @@ def lower_graph(graph, inputs, outputs, *, name="main", program=None,
                 env[id(op.outputs[0])] = env[id(op.inputs[0])]
                 continue
             args = [staged_in(t) for t in op.inputs]
-            staged = _emit_simple(builder, op.type, args, op.attrs)
+            rank = op.inputs[0].shape.rank if op.inputs else None
+            staged = _emit_simple(builder, op.type, args, op.attrs,
+                                  rank=rank)
             env[id(op.outputs[0])] = staged.sym
 
         missing = [t.name for t in outputs if id(t) not in env]
@@ -213,4 +261,4 @@ def lower_graph(graph, inputs, outputs, *, name="main", program=None,
         fdef.block.result_syms = tuple(env[id(t)] for t in outputs)
     finally:
         builder.pop_block()
-    return program, fdef
+    return program, fdef, capture_params

@@ -54,9 +54,15 @@ numpy_kernels = {
     "sum": lambda a: np.sum(a),
     "sum0": lambda a: np.sum(a, axis=0),
     "sum1": lambda a: np.sum(a, axis=1),
+    "sumk": lambda a: np.sum(a, keepdims=True),
+    "sum0k": lambda a: np.sum(a, axis=0, keepdims=True),
+    "sum1k": lambda a: np.sum(a, axis=1, keepdims=True),
     "mean": lambda a: np.mean(a),
     "mean0": lambda a: np.mean(a, axis=0),
     "mean1": lambda a: np.mean(a, axis=1),
+    "meank": lambda a: np.mean(a, keepdims=True),
+    "mean0k": lambda a: np.mean(a, axis=0, keepdims=True),
+    "mean1k": lambda a: np.mean(a, axis=1, keepdims=True),
     "xent": _np_xent,
 }
 
@@ -121,11 +127,12 @@ def maximum(a, b):
     return _dispatch("maximum", a, b)
 
 
-def mean(x, axis=None):
+def mean(x, axis=None, keepdims=False):
     """Mean over all elements (``axis=None``) or along axis 0/1."""
     if axis not in _AXIS_SUFFIX:
         raise ValueError(f"lantern mean supports axis None/0/1, got {axis!r}")
-    return _dispatch(f"mean{_AXIS_SUFFIX[axis]}", x)
+    suffix = _AXIS_SUFFIX[axis] + ("k" if keepdims else "")
+    return _dispatch(f"mean{suffix}", x)
 
 
 def matmul(a, b):
@@ -143,11 +150,12 @@ def concat0(a, b):
     return _dispatch("concat0", a, b)
 
 
-def sum_(a, axis=None):
+def sum_(a, axis=None, keepdims=False):
     """Sum over all elements (``axis=None``) or along axis 0/1."""
     if axis not in _AXIS_SUFFIX:
         raise ValueError(f"lantern sum supports axis None/0/1, got {axis!r}")
-    return _dispatch(f"sum{_AXIS_SUFFIX[axis]}", a)
+    suffix = _AXIS_SUFFIX[axis] + ("k" if keepdims else "")
+    return _dispatch(f"sum{suffix}", a)
 
 
 def xent(logits, label):

@@ -6,23 +6,30 @@ Three layers, all speaking the backend-neutral
 interchangeable everywhere here:
 
 - :mod:`repro.serving.saved_function` — ``save``/``load``: serialize a
-  traced signature (optimized graph or lantern program, frozen state,
-  ``TensorSpec`` tree) to disk and rehydrate it without retracing;
+  traced signature (optimized graph or lantern program, ``TensorSpec``
+  tree) to disk — frozen, or with a separate named weight checkpoint
+  (``freeze=False``) whose loaded captures hot-swap — and rehydrate it
+  without retracing;
 - :class:`MicroBatcher` — dynamic micro-batching: concurrent
   same-signature calls coalesce along a batch axis (pad + stack, split
-  results) under ``max_batch_size`` / ``batch_timeout`` control;
+  results) under ``max_batch_size`` / ``batch_timeout`` control, with
+  bounded-queue backpressure (``max_queue`` / :class:`QueueFullError`);
 - :class:`ModelServer` — a threaded HTTP/JSON front routing named
-  signatures through the batcher to either backend.
+  signatures through the batcher to either backend, serving N versions
+  side by side with live, zero-retrace weight/version swaps
+  (``POST /v1/models/<name>:swap_weights``) and per-signature latency
+  stats in ``GET /v1/models``.
 """
 
 from . import client, saved_function
-from .batching import MicroBatcher
+from .batching import MicroBatcher, QueueFullError
 from .saved_function import load, save
 from .server import ModelServer
 
 __all__ = [
     "MicroBatcher",
     "ModelServer",
+    "QueueFullError",
     "client",
     "load",
     "save",

@@ -39,11 +39,21 @@ from ..framework import nest
 from ..framework.eager.tensor import EagerTensor
 from ..function.tensor_spec import TensorSpec
 
-__all__ = ["BatchStats", "MicroBatcher"]
+__all__ = ["BatchStats", "MicroBatcher", "QueueFullError"]
 
 
 BatchStats = collections.namedtuple(
-    "BatchStats", ["requests", "batches", "max_batch_size"])
+    "BatchStats", ["requests", "batches", "max_batch_size", "rejected"])
+
+
+class QueueFullError(RuntimeError):
+    """The batcher's queue is at ``max_queue``; the request was rejected.
+
+    Backpressure, not buffering: when the executable cannot drain
+    requests as fast as they arrive, callers get an immediate, explicit
+    failure (the server maps it to HTTP 503) instead of an unbounded
+    queue and a timeout.
+    """
 
 
 class _Request:
@@ -60,7 +70,8 @@ class MicroBatcher:
     """Coalesces concurrent same-signature calls along a batch axis."""
 
     def __init__(self, executable, *, batch_axis=0, max_batch_size=32,
-                 batch_timeout=0.002, pad_value=None, timeout=30.0):
+                 batch_timeout=0.002, pad_value=None, timeout=30.0,
+                 max_queue=None):
         """Args:
           executable: a batch-polymorphic
             :class:`~repro.function.Executable` (either backend, or a
@@ -76,9 +87,15 @@ class MicroBatcher:
             sound when the model treats the fill as neutral.
           timeout: seconds a submitter waits for its result before
             raising ``TimeoutError`` (guards against a wedged worker).
+          max_queue: bound on *queued* (not yet executing) requests;
+            ``None`` (default) leaves the queue unbounded.  A submit
+            arriving while the queue holds ``max_queue`` requests fails
+            fast with :class:`QueueFullError`.
         """
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 (or None for unbounded)")
         for spec in executable.signature:
             if not isinstance(spec, TensorSpec):
                 raise ValueError(
@@ -91,6 +108,7 @@ class MicroBatcher:
         self._batch_timeout = batch_timeout
         self._pad_value = pad_value
         self._timeout = timeout
+        self._max_queue = max_queue
 
         self._cond = threading.Condition()
         self._pending = collections.deque()
@@ -98,6 +116,7 @@ class MicroBatcher:
         self._n_requests = 0
         self._n_batches = 0
         self._max_seen = 0
+        self._n_rejected = 0
         self._worker = threading.Thread(
             target=self._loop, name="repro-microbatcher", daemon=True)
         self._worker.start()
@@ -127,6 +146,14 @@ class MicroBatcher:
         with self._cond:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed")
+            if (self._max_queue is not None
+                    and len(self._pending) >= self._max_queue):
+                self._n_rejected += 1
+                raise QueueFullError(
+                    f"{self._executable.name!r} batch queue is full "
+                    f"({self._max_queue} requests waiting); retry later "
+                    "or raise max_queue"
+                )
             self._pending.append(request)
             self._cond.notify_all()
         if not request.event.wait(self._timeout):
@@ -142,7 +169,7 @@ class MicroBatcher:
     def stats(self):
         with self._cond:
             return BatchStats(self._n_requests, self._n_batches,
-                              self._max_seen)
+                              self._max_seen, self._n_rejected)
 
     @property
     def average_batch_size(self):

@@ -11,7 +11,7 @@ import json
 import urllib.error
 import urllib.request
 
-__all__ = ["ServingError", "list_models", "predict"]
+__all__ = ["ServingError", "list_models", "predict", "swap_weights"]
 
 
 class ServingError(RuntimeError):
@@ -50,5 +50,24 @@ def predict(base_url, name, inputs, timeout=10.0):
     return _request(
         f"{base_url}/v1/models/{name}:predict",
         data={"inputs": inputs},
+        timeout=timeout,
+    )
+
+
+def swap_weights(base_url, name, weights=None, version=None, timeout=10.0):
+    """``POST /v1/models/<name>:swap_weights``: live model management.
+
+    ``weights`` replaces capture values (name -> nested lists) on the
+    target (default: active) version; ``version`` activates a registered
+    version label.  Both are zero-retrace operations.
+    """
+    data = {}
+    if weights is not None:
+        data["weights"] = weights
+    if version is not None:
+        data["version"] = version
+    return _request(
+        f"{base_url}/v1/models/{name}:swap_weights",
+        data=data,
         timeout=timeout,
     )

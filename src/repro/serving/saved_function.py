@@ -74,7 +74,7 @@ def _decode_input_spec(data):
 # ---------------------------------------------------------------------------
 
 
-def save(fn, path, *args, **kwargs):
+def save(fn, path, *args, freeze=True, **kwargs):
     """Serialize one traced signature of ``fn`` to ``path``.
 
     Args:
@@ -84,6 +84,12 @@ def save(fn, path, *args, **kwargs):
         (concrete values or bare :class:`TensorSpec`s) select, and if
         necessary trace, the signature to export.
       path: target directory (created if missing).
+      freeze: ``True`` (default) bakes captured state (closed-over
+        eager tensors / Variable reads) into the artifact as constants.
+        ``False`` exports the graph/program and a *separate* named
+        weight checkpoint (in ``arrays.npz``); the loaded executable
+        then supports ``set_capture_values`` — weight hot-swapping with
+        zero retraces.
 
     Returns:
       ``path``.
@@ -93,7 +99,7 @@ def save(fn, path, *args, **kwargs):
         side effects, unserializable return structure, ...).
     """
     executable = resolve_executable(fn, args, kwargs, "save")
-    spec = executable.export_spec()
+    spec = executable.export_spec(freeze=freeze)
     doc = {
         "format_version": FORMAT_VERSION,
         "backend": spec.backend,
@@ -102,6 +108,7 @@ def save(fn, path, *args, **kwargs):
         "output_template": [list(leaf) for leaf in spec.output_template],
         "output_descriptor": spec.output_descriptor,
         "payload": spec.payload,
+        "captures": list(spec.captures),
     }
     os.makedirs(path, exist_ok=True)
     with open(os.path.join(path, SPEC_FILE), "w") as f:
@@ -121,8 +128,10 @@ def save(fn, path, *args, **kwargs):
 class LoadedExecutable(Executable):
     """An :class:`Executable` rehydrated from a saved artifact.
 
-    State was frozen at export, so ``variables`` is empty and calls are
-    pure; ``export_spec`` re-serializes, making artifacts round-trip
+    ``variables`` is empty — loaded state is either frozen into the
+    payload or held as named *captures* (non-frozen artifacts), which
+    :meth:`set_capture_values` can hot-swap without retracing.
+    ``export_spec`` re-serializes, making artifacts round-trip
     (``load(save(load(p)))`` is the identity).
     """
 
@@ -182,43 +191,110 @@ class LoadedExecutable(Executable):
 
 
 class _LoadedGraphExecutable(LoadedExecutable):
-    """A deserialized graph signature running on a private Session."""
+    """A deserialized graph signature running on a private Session.
+
+    Loaded from a non-frozen artifact, the trailing graph inputs are
+    capture placeholders: their values live in ``_capture_state`` (a
+    tuple, rebound atomically by :meth:`set_capture_values`) and feed
+    every run — weight hot-swaps are atomic under in-flight requests.
+    """
 
     backend = "graph"
 
     def __init__(self, name, input_specs, output_template,
-                 output_descriptor, graph, inputs, outputs):
+                 output_descriptor, graph, inputs, outputs, captures=(),
+                 capture_values=()):
         super().__init__(name, input_specs, output_template,
                          output_descriptor)
         from ..framework.graph.session import Session
 
         self._graph = graph
-        self._inputs = inputs
+        n_caps = len(captures)
+        self._inputs = inputs[:len(inputs) - n_caps]
+        self._capture_inputs = inputs[len(inputs) - n_caps:]
+        self._capture_names = [c["name"] for c in captures]
+        self._capture_state = tuple(
+            np.asarray(v) for v in capture_values)
         self._outputs = outputs
         self._session = Session(graph)
 
+    @property
+    def captures(self):
+        return list(self._capture_names)
+
+    def capture_values(self):
+        state = self._capture_state
+        return dict(zip(self._capture_names, state))
+
+    def set_capture_values(self, mapping):
+        """Atomically swap capture values (one tuple rebind, no retrace)."""
+        index = {n: i for i, n in enumerate(self._capture_names)}
+        state = list(self._capture_state)
+        for name, value in mapping.items():
+            if name not in index:
+                raise KeyError(
+                    f"{self.name!r} has no capture named {name!r}; "
+                    f"captures: {sorted(index)}"
+                )
+            i = index[name]
+            value = np.asarray(value, dtype=self._capture_state[i].dtype)
+            ph = self._capture_inputs[i]
+            if not ph.shape.is_compatible_with(value.shape):
+                raise ValueError(
+                    f"Capture {name!r} expects shape {ph.shape}, "
+                    f"got {value.shape}"
+                )
+            state[i] = value
+        self._capture_state = tuple(state)
+
     def call_flat(self, flat_args):
-        fetched = self._session.run(
-            self._outputs, dict(zip(self._inputs, self._cast_args(flat_args))))
+        feed = dict(zip(self._inputs, self._cast_args(flat_args)))
+        if self._capture_inputs:
+            # One snapshot per call: a concurrent swap lands wholly
+            # before or wholly after this run.
+            feed.update(zip(self._capture_inputs, self._capture_state))
+        fetched = self._session.run(self._outputs, feed)
         tensor_outputs = tuple(EagerTensor(v) for v in fetched)
         return self._pack_outputs(tensor_outputs)
 
-    def export_spec(self):
+    def export_spec(self, freeze=True):
         from ..framework.graph.serialize import graph_to_def
 
-        graph_def, arrays = graph_to_def(
-            self._graph, self._inputs, self._outputs)
-        return self._export_spec_from_parts(
+        state = self._capture_state
+        captures = []
+        arrays = {}
+        if freeze and self._capture_inputs:
+            graph_def, arrays = graph_to_def(
+                self._graph, self._inputs, self._outputs,
+                freeze_placeholders=dict(zip(self._capture_inputs, state)),
+            )
+        else:
+            for i, (name, value) in enumerate(
+                    zip(self._capture_names, state)):
+                key = f"capture_{i}"
+                arrays[key] = value
+                captures.append({"name": name, "key": key})
+            graph_def, arrays = graph_to_def(
+                self._graph, self._inputs + self._capture_inputs,
+                self._outputs, arrays=arrays)
+        spec = self._export_spec_from_parts(
             "graph", {"graph_def": graph_def}, arrays)
+        spec.captures = captures
+        return spec
 
 
 class _LoadedLanternExecutable(LoadedExecutable):
-    """A deserialized lantern program, recompiled forward-only."""
+    """A deserialized lantern program, recompiled forward-only.
+
+    Non-frozen artifacts advertise their Params as named captures;
+    :meth:`set_capture_values` swaps each Param's storage (per-tensor
+    atomic — a running call keeps the array object it already read).
+    """
 
     backend = "lantern"
 
     def __init__(self, name, input_specs, output_template,
-                 output_descriptor, program, entry):
+                 output_descriptor, program, entry, captures=()):
         super().__init__(name, input_specs, output_template,
                          output_descriptor)
         from ..lantern.compiler import compile_program
@@ -226,6 +302,41 @@ class _LoadedLanternExecutable(LoadedExecutable):
         self._program = program
         self._entry = entry
         self._compiled = compile_program(program, with_grad=False)
+        self._capture_to_param = {c["name"]: c["param"] for c in captures}
+
+    @property
+    def captures(self):
+        return list(self._capture_to_param)
+
+    def capture_values(self):
+        values = self._compiled.namespace["_P"]
+        return {name: np.asarray(values[param])
+                for name, param in self._capture_to_param.items()}
+
+    def set_capture_values(self, mapping):
+        """Swap Param values (atomic per tensor, no recompilation)."""
+        values = self._compiled.namespace["_P"]
+        staged = []
+        for name, value in mapping.items():
+            param = self._capture_to_param.get(name)
+            if param is None:
+                raise KeyError(
+                    f"{self.name!r} has no capture named {name!r}; "
+                    f"captures: {sorted(self._capture_to_param)}"
+                )
+            old = values[param]
+            value = np.asarray(value, dtype=np.float32)
+            if value.shape != old.shape:
+                raise ValueError(
+                    f"Capture {name!r} expects shape {old.shape}, "
+                    f"got {value.shape}"
+                )
+            staged.append((param, value))
+        for param, value in staged:
+            # Rebind (don't mutate in place): an in-flight call that
+            # already read the old array keeps a consistent tensor.
+            values[param] = value
+            self._compiled.params[param].value = value
 
     def call_flat(self, flat_args):
         out = self._compiled.namespace[self._entry](
@@ -233,12 +344,24 @@ class _LoadedLanternExecutable(LoadedExecutable):
         tensor_outputs = tuple(EagerTensor(np.asarray(r)) for r in out)
         return self._pack_outputs(tensor_outputs)
 
-    def export_spec(self):
+    def export_spec(self, freeze=True):
         from ..lantern.serialize import program_to_payload
 
         payload, arrays = program_to_payload(self._program)
-        return self._export_spec_from_parts(
+        captures = []
+        if not freeze:
+            param_keys = payload["params"]
+            to_param = self._capture_to_param or {
+                name: name for name in param_keys
+            }
+            for name, param in to_param.items():
+                captures.append({
+                    "name": name, "key": param_keys[param], "param": param,
+                })
+        spec = self._export_spec_from_parts(
             "lantern", {"program": payload, "entry": self._entry}, arrays)
+        spec.captures = captures
+        return spec
 
 
 def load(path):
@@ -275,17 +398,20 @@ def load(path):
         doc["output_template"],
         doc["output_descriptor"],
     )
+    captures = doc.get("captures", [])
     backend = doc["backend"]
     if backend == "graph":
         from ..framework.graph.serialize import graph_from_def
 
         graph, inputs, outputs = graph_from_def(
             doc["payload"]["graph_def"], arrays)
-        return _LoadedGraphExecutable(*common, graph, inputs, outputs)
+        return _LoadedGraphExecutable(
+            *common, graph, inputs, outputs, captures=captures,
+            capture_values=[arrays[c["key"]] for c in captures])
     if backend == "lantern":
         from ..lantern.serialize import program_from_payload
 
         program = program_from_payload(doc["payload"]["program"], arrays)
         return _LoadedLanternExecutable(
-            *common, program, doc["payload"]["entry"])
+            *common, program, doc["payload"]["entry"], captures=captures)
     raise ExportError(f"Unknown saved-function backend {backend!r}")

@@ -3,20 +3,31 @@
 Routes (JSON in, JSON out):
 
 - ``GET /v1/models`` — every served signature: backend, input specs,
-  batching configuration, request counts;
+  versions, batching configuration, request counts and latency stats;
 - ``GET /v1/models/<name>`` — one signature's metadata;
 - ``POST /v1/models/<name>:predict`` with body ``{"inputs": [...]}`` —
   one value per signature entry (nested lists); responds
-  ``{"outputs": [...], "backend": ...}`` with the flattened result
-  leaves.
+  ``{"outputs": [...], "backend": ..., "version": ...}`` with the
+  flattened result leaves;
+- ``POST /v1/models/<name>:swap_weights`` — live model management with
+  **zero retraces**: body ``{"weights": {<capture>: values}}`` replaces
+  the active version's capture values in place, body
+  ``{"version": <label>}`` atomically activates another registered
+  version, and both may be combined (swap then activate).
 
-Each request is handled on its own thread
-(``ThreadingHTTPServer``); signatures registered with ``batch=True``
-funnel through a per-signature
+Each request is handled on its own thread (``ThreadingHTTPServer``);
+signatures registered with ``batch=True`` funnel through a per-version
 :class:`~repro.serving.MicroBatcher`, so concurrent predict calls
 coalesce into single batched executions.  For batched signatures the
 request body carries a *single example* (no batch axis); unbatched
-signatures receive their inputs verbatim.
+signatures receive their inputs verbatim.  ``max_queue=`` bounds the
+per-version batch queue: requests arriving over the bound are rejected
+with HTTP 503 instead of growing the queue without limit.
+
+A signature may serve several *versions* side by side (``add_version``)
+— each version is its own executable (and batcher), so activating one
+is a single attribute rebind: in-flight requests finish on the version
+they started on, later requests see the new one, and nothing retraces.
 
 The executables behind the routes are anything implementing the
 backend-neutral protocol — live graph/lantern concrete functions or
@@ -28,6 +39,8 @@ from __future__ import annotations
 
 import json
 import threading
+import time
+from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
@@ -37,42 +50,130 @@ from ..framework.eager.tensor import EagerTensor
 from ..framework.errors import FrameworkError
 from ..function.executable import resolve_executable
 from ..function.tensor_spec import TensorSpec
-from .batching import MicroBatcher
+from .batching import MicroBatcher, QueueFullError
 
 __all__ = ["ModelServer"]
 
+# Latency window: enough samples for a stable p99 without unbounded
+# growth under sustained traffic.
+_LATENCY_WINDOW = 2048
 
-class _Endpoint:
-    __slots__ = ("name", "executable", "batcher", "batch_config", "requests")
 
-    def __init__(self, name, executable, batch_config):
-        self.name = name
+class _Version:
+    """One registered executable version of an endpoint."""
+
+    __slots__ = ("label", "executable", "batcher", "batch_config")
+
+    def __init__(self, label, executable, batch_config):
+        self.label = label
         self.executable = executable
         # None = unbatched; otherwise MicroBatcher kwargs, kept so a
         # stopped-and-restarted server rebuilds an equivalent batcher.
         self.batch_config = batch_config
-        self.batcher = (
-            MicroBatcher(executable, **batch_config)
-            if batch_config is not None else None
-        )
+        self.batcher = None
+
+    def ensure_batcher(self):
+        if self.batch_config is not None and self.batcher is None:
+            self.batcher = MicroBatcher(self.executable, **self.batch_config)
+
+    def close_batcher(self):
+        if self.batcher is not None:
+            self.batcher.close()
+            self.batcher = None
+
+
+class _Endpoint:
+    __slots__ = ("name", "versions", "active", "requests", "_lock",
+                 "_latencies", "_latency_count", "_latency_total")
+
+    def __init__(self, name):
+        self.name = name
+        self.versions = {}
+        self.active = None
         self.requests = 0
+        self._lock = threading.Lock()
+        self._latencies = deque(maxlen=_LATENCY_WINDOW)
+        self._latency_count = 0
+        self._latency_total = 0.0
+
+    def add_version(self, label, executable, batch_config, running):
+        if label in self.versions:
+            raise ValueError(
+                f"Signature {self.name!r} already has a version {label!r}"
+            )
+        if self.versions:
+            reference = next(iter(self.versions.values())).executable
+            if len(executable.signature) != len(reference.signature):
+                raise ValueError(
+                    f"Version {label!r} of {self.name!r} takes "
+                    f"{len(executable.signature)} arguments; existing "
+                    f"versions take {len(reference.signature)}"
+                )
+        version = _Version(label, executable, batch_config)
+        if running:
+            version.ensure_batcher()
+        self.versions[label] = version
+        if self.active is None:
+            self.active = label
+        return version
+
+    def activate(self, label):
+        if label not in self.versions:
+            raise KeyError(label)
+        # One attribute rebind: requests snapshot the active version, so
+        # the switch is atomic with respect to in-flight traffic.
+        self.active = label
+
+    def active_version(self):
+        return self.versions[self.active]
+
+    def record_latency(self, seconds):
+        with self._lock:
+            self.requests += 1
+            self._latencies.append(seconds)
+            self._latency_count += 1
+            self._latency_total += seconds
+
+    def latency_stats(self):
+        with self._lock:
+            window = sorted(self._latencies)
+            count, total = self._latency_count, self._latency_total
+        if not window:
+            return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p99_ms": 0.0}
+
+        def pct(q):
+            i = min(len(window) - 1, int(q * len(window)))
+            return round(window[i] * 1e3, 3)
+
+        return {
+            "count": count,
+            "mean_ms": round(total / count * 1e3, 3),
+            "p50_ms": pct(0.50),
+            "p99_ms": pct(0.99),
+        }
 
     def describe(self):
+        version = self.active_version()
+        executable = version.executable
         info = {
-            "backend": self.executable.backend,
+            "backend": executable.backend,
             "signature": [
                 repr(s) if isinstance(s, TensorSpec) else s
-                for s in self.executable.signature
+                for s in executable.signature
             ],
-            "batching": self.batcher is not None,
+            "batching": version.batch_config is not None,
             "requests": self.requests,
+            "latency": self.latency_stats(),
+            "versions": sorted(self.versions),
+            "active_version": self.active,
         }
-        if self.batcher is not None:
-            stats = self.batcher.stats
+        if version.batcher is not None:
+            stats = version.batcher.stats
             info["batch_stats"] = {
                 "batches": stats.batches,
                 "requests": stats.requests,
                 "max_batch_size": stats.max_batch_size,
+                "rejected": stats.rejected,
             }
         return info
 
@@ -84,9 +185,11 @@ class ModelServer:
 
         server = ModelServer()
         server.add_signature("score", model_fn, spec)   # traces if needed
+        server.add_version("score", model_fn_v2, spec, version="2")
         with server:                                     # start/stop
             reply = repro.serving.client.predict(
                 server.url, "score", [[1.0, 2.0, 3.0, 4.0]])
+            client.swap_weights(server.url, "score", version="2")
     """
 
     def __init__(self, host="127.0.0.1", port=0):
@@ -95,13 +198,13 @@ class ModelServer:
         self._endpoints = {}
         self._httpd = None
         self._thread = None
-        self._lock = threading.Lock()
+        self._swap_lock = threading.Lock()
 
     # -- registration ------------------------------------------------------
 
     def add_signature(self, name, fn, *args, batch=True, batch_axis=0,
                       max_batch_size=32, batch_timeout=0.002,
-                      pad_value=None, **kwargs):
+                      pad_value=None, max_queue=None, version="1", **kwargs):
         """Route ``POST /v1/models/<name>:predict`` to ``fn``.
 
         Args:
@@ -116,20 +219,61 @@ class ModelServer:
             carries one example without that axis.
           batch_axis / max_batch_size / batch_timeout / pad_value:
             :class:`MicroBatcher` knobs.
+          max_queue: per-signature queue bound — requests arriving while
+            this many are already waiting get HTTP 503 (backpressure)
+            instead of queueing without limit.  ``None`` = unbounded.
+          version: label for this first registered version.
 
         Returns:
           The registered executable.
         """
-        executable = resolve_executable(fn, args, kwargs, "add_signature")
         if name in self._endpoints:
             raise ValueError(f"Signature {name!r} is already registered")
+        executable = resolve_executable(fn, args, kwargs, "add_signature")
         batch_config = None
         if batch:
             batch_config = {"batch_axis": batch_axis,
                             "max_batch_size": max_batch_size,
                             "batch_timeout": batch_timeout,
-                            "pad_value": pad_value}
-        self._endpoints[name] = _Endpoint(name, executable, batch_config)
+                            "pad_value": pad_value,
+                            "max_queue": max_queue}
+        endpoint = _Endpoint(name)
+        endpoint.add_version(str(version), executable, batch_config,
+                             running=self._httpd is not None)
+        self._endpoints[name] = endpoint
+        executable._mark_served(name)
+        return executable
+
+    def add_version(self, name, fn, *args, version, activate=False,
+                    batch=True, batch_axis=0, max_batch_size=32,
+                    batch_timeout=0.002, pad_value=None, max_queue=None,
+                    **kwargs):
+        """Register another executable version under an existing name.
+
+        The new version serves immediately at
+        ``POST /v1/models/<name>:swap_weights`` ``{"version": <label>}``
+        time — it is compiled/loaded *now*, so activation later is a
+        zero-retrace pointer swap.  ``activate=True`` switches to it
+        right away.
+
+        Returns:
+          The registered executable.
+        """
+        endpoint = self._endpoints.get(name)
+        if endpoint is None:
+            raise KeyError(f"No signature {name!r}; add_signature it first")
+        executable = resolve_executable(fn, args, kwargs, "add_version")
+        batch_config = None
+        if batch:
+            batch_config = {"batch_axis": batch_axis,
+                            "max_batch_size": max_batch_size,
+                            "batch_timeout": batch_timeout,
+                            "pad_value": pad_value,
+                            "max_queue": max_queue}
+        endpoint.add_version(str(version), executable, batch_config,
+                             running=self._httpd is not None)
+        if activate:
+            endpoint.activate(str(version))
         executable._mark_served(name)
         return executable
 
@@ -149,9 +293,8 @@ class ModelServer:
         # A restarted server gets fresh batchers (stop() drained the old
         # ones) so batched signatures stay batched across restarts.
         for endpoint in self._endpoints.values():
-            if endpoint.batch_config is not None and endpoint.batcher is None:
-                endpoint.batcher = MicroBatcher(
-                    endpoint.executable, **endpoint.batch_config)
+            for version in endpoint.versions.values():
+                version.ensure_batcher()
         handler = _make_handler(self)
         self._httpd = ThreadingHTTPServer((self._host, self._port), handler)
         self._httpd.daemon_threads = True
@@ -170,9 +313,8 @@ class ModelServer:
             self._httpd = None
             self._thread = None
         for endpoint in self._endpoints.values():
-            if endpoint.batcher is not None:
-                endpoint.batcher.close()
-                endpoint.batcher = None
+            for version in endpoint.versions.values():
+                version.close_batcher()
 
     def __enter__(self):
         self.start()
@@ -195,8 +337,13 @@ class ModelServer:
         endpoint = self._endpoints.get(name)
         if endpoint is None:
             raise KeyError(name)
+        started = time.perf_counter()
+        # Snapshot the active version once: a concurrent version swap (or
+        # server stop) cannot hand this request half of each version.
+        version = endpoint.active_version()
+        executable = version.executable
         inputs = body.get("inputs")
-        signature = endpoint.executable.signature
+        signature = executable.signature
         if not isinstance(inputs, list) or len(inputs) != len(signature):
             raise ValueError(
                 f"Body must carry 'inputs': a list of "
@@ -207,20 +354,18 @@ class ModelServer:
             if isinstance(spec, TensorSpec):
                 value = np.asarray(value, dtype=spec.dtype.np_dtype)
             values.append(value)
-        with self._lock:
-            endpoint.requests += 1
         # Snapshot: stop() may null the batcher under an in-flight
         # handler thread.  A drained batcher raises its own "closed"
         # error; an already-nulled one must NOT fall through to the
         # unbatched path (these values are single examples without the
         # batch axis).
-        batcher = endpoint.batcher
+        batcher = version.batcher
         if batcher is not None:
             result = batcher.submit(values)
-        elif endpoint.batch_config is not None:
+        elif version.batch_config is not None:
             raise RuntimeError("ModelServer is stopping")
         else:
-            result = endpoint.executable.call_flat(values)
+            result = executable.call_flat(values)
         outputs = []
         for leaf in nest.flatten(result):
             if isinstance(leaf, EagerTensor):
@@ -228,7 +373,56 @@ class ModelServer:
             if isinstance(leaf, (np.ndarray, np.generic)):
                 leaf = leaf.tolist()
             outputs.append(leaf)
-        return {"outputs": outputs, "backend": endpoint.executable.backend}
+        endpoint.record_latency(time.perf_counter() - started)
+        return {"outputs": outputs, "backend": executable.backend,
+                "version": version.label}
+
+    def _swap_weights(self, name, body):
+        endpoint = self._endpoints.get(name)
+        if endpoint is None:
+            raise KeyError(name)
+        weights = body.get("weights")
+        target = body.get("version")
+        if weights is None and target is None:
+            raise ValueError(
+                "Body must carry 'weights' (capture name -> values) "
+                "and/or 'version' (a registered version label)"
+            )
+        with self._swap_lock:
+            swapped = []
+            if weights is not None:
+                if not isinstance(weights, dict):
+                    raise ValueError("'weights' must map capture names to "
+                                     "nested-list values")
+                label = str(target) if target is not None else endpoint.active
+                version = endpoint.versions.get(label)
+                if version is None:
+                    raise ValueError(
+                        f"{name!r} has no version {label!r}; registered: "
+                        f"{sorted(endpoint.versions)}"
+                    )
+                try:
+                    # No dtype here: each backend casts to the capture's
+                    # own dtype (float32 would corrupt wider captures).
+                    version.executable.set_capture_values({
+                        k: np.asarray(v) for k, v in weights.items()
+                    })
+                except KeyError as e:
+                    raise ValueError(str(e)) from e
+                swapped = sorted(weights)
+            if target is not None:
+                try:
+                    endpoint.activate(str(target))
+                except KeyError:
+                    raise ValueError(
+                        f"{name!r} has no version {target!r}; registered: "
+                        f"{sorted(endpoint.versions)}"
+                    ) from None
+        return {
+            "model": name,
+            "active_version": endpoint.active,
+            "swapped": swapped,
+        }
 
 
 def _make_handler(server):
@@ -258,17 +452,27 @@ def _make_handler(server):
             self._reply(404, {"error": f"No route {self.path!r}"})
 
         def do_POST(self):  # noqa: N802 - http.server API
-            if not (self.path.startswith("/v1/models/")
-                    and self.path.endswith(":predict")):
+            route = None
+            for action in (":predict", ":swap_weights"):
+                if (self.path.startswith("/v1/models/")
+                        and self.path.endswith(action)):
+                    route = action
+                    name = self.path[len("/v1/models/"):-len(action)]
+                    break
+            if route is None:
                 self._reply(404, {"error": f"No route {self.path!r}"})
                 return
-            name = self.path[len("/v1/models/"):-len(":predict")]
             try:
                 length = int(self.headers.get("Content-Length", 0))
                 body = json.loads(self.rfile.read(length) or b"{}")
-                self._reply(200, server._predict(name, body))
+                if route == ":predict":
+                    self._reply(200, server._predict(name, body))
+                else:
+                    self._reply(200, server._swap_weights(name, body))
             except KeyError:
                 self._reply(404, {"error": f"No signature {name!r}"})
+            except QueueFullError as e:
+                self._reply(503, {"error": str(e)})
             except (ValueError, TypeError, FrameworkError) as e:
                 self._reply(400, {"error": str(e)})
             except Exception as e:  # noqa: BLE001 - wire boundary

@@ -1,0 +1,269 @@
+"""Capture semantics: closed-over state as runtime inputs, not constants.
+
+The acceptance scenario of the captures refactor: a ``@repro.function``
+method closing over model weights reflects an optimizer update on the
+next call with ``trace_count == 1`` — on both backends — and gradients
+flow to the captured variables through the tape bridge.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import framework as fw
+from repro.framework import GradientTape, ops
+
+_COUNTER = [0]
+
+
+def _uname(base):
+    _COUNTER[0] += 1
+    return f"{base}_{_COUNTER[0]}"
+
+
+class _Linear:
+    """The weight-carrying-closure pattern the paper's users write."""
+
+    def __init__(self, backend):
+        self.w = fw.Variable(
+            np.full((3, 1), 2.0, np.float32), name=_uname("cap_w"))
+        self.b = fw.Variable(
+            np.zeros((1,), np.float32), name=_uname("cap_b"))
+
+        @repro.function(backend=backend)
+        def predict(x):
+            return ops.matmul(x, self.w.value()) + self.b.value()
+
+        self.predict = predict
+
+
+@pytest.mark.parametrize("backend", ["graph", "lantern"])
+def test_weight_update_visible_without_retrace(backend):
+    model = _Linear(backend)
+    x = np.ones((1, 3), np.float32)
+    np.testing.assert_allclose(model.predict(x).numpy(), [[6.0]], rtol=1e-6)
+    # An "optimizer step": assign new weights between calls.
+    model.w.assign(np.full((3, 1), 5.0, np.float32))
+    model.b.assign(np.array([1.0], np.float32))
+    np.testing.assert_allclose(model.predict(x).numpy(), [[16.0]], rtol=1e-6)
+    assert model.predict.trace_count == 1
+
+
+@pytest.mark.parametrize("backend", ["graph", "lantern"])
+def test_sgd_training_step_trains_through_captures(backend):
+    model = _Linear(backend)
+    x = np.array([[1.0, 2.0, 3.0]], np.float32)
+    y = np.array([[4.0]], np.float32)
+    losses = []
+    for _ in range(60):
+        with GradientTape() as tape:
+            tape.watch(model.w)
+            tape.watch(model.b)
+            err = model.predict(fw.EagerTensor(x)) - y
+            loss = ops.reduce_sum(err * err)
+        dw, db = tape.gradient(loss, [model.w, model.b])
+        model.w.assign_sub(dw.numpy() * 0.01)
+        model.b.assign_sub(db.numpy() * 0.01)
+        losses.append(float(loss.numpy()))
+    assert model.predict.trace_count == 1
+    assert losses[-1] < 1e-3 < losses[0]
+
+
+@pytest.mark.parametrize("backend", ["graph", "lantern"])
+def test_gradient_wrt_capture(backend):
+    v = fw.Variable(np.array([2.0], np.float32), name=_uname("cap_g"))
+
+    @repro.function(backend=backend)
+    def loss_fn(x):
+        return ops.reduce_sum(x * v.value() * v.value())
+
+    x = fw.EagerTensor(np.array([3.0], np.float32))
+    with GradientTape() as tape:
+        tape.watch(v)
+        loss = loss_fn(x)
+    (dv,) = tape.gradient(loss, [v])
+    # d/dv (x * v^2) = 2 x v = 12
+    np.testing.assert_allclose(dv.numpy(), [12.0], rtol=1e-5)
+
+
+def test_scalar_variable_keeps_tape_gradients_across_steps():
+    # Regression: 0-d arithmetic yields numpy scalars; if VariableState
+    # stored one, the eager-value identity cache broke and the tape lost
+    # the gradient path to a scalar bias after the first optimizer step.
+    b = fw.Variable(np.zeros((), np.float32), name=_uname("cap_sc"))
+
+    @repro.function
+    def f(x):
+        return ops.reduce_sum(x) + b.value()
+
+    x = fw.EagerTensor(np.ones(2, np.float32))
+    for _ in range(3):
+        with GradientTape() as tape:
+            tape.watch(b)
+            out = f(x)
+        (db,) = tape.gradient(out, [b])
+        assert db is not None
+        b.assign_sub(db.numpy() * 0.1)
+    np.testing.assert_allclose(b.numpy(), -0.3, rtol=1e-5)
+
+
+def test_backward_uses_forward_time_weights():
+    # The tape records the variable values the forward pass saw; if an
+    # optimizer steps the weights before gradient(), the backward pass
+    # must still differentiate at the recorded point.
+    v = fw.Variable(np.array([2.0], np.float32), name=_uname("cap_fw"))
+
+    @repro.function
+    def loss_fn(x):
+        return ops.reduce_sum(x * v.value() * v.value())
+
+    x = fw.EagerTensor(np.array([3.0], np.float32))
+    with GradientTape() as tape:
+        tape.watch(x)
+        loss = loss_fn(x)
+    v.assign(np.array([100.0], np.float32))  # post-forward update
+    (dx,) = tape.gradient(loss, [x])
+    # d/dx (x * v^2) = v^2 at the *recorded* v (2.0), not the updated v.
+    np.testing.assert_allclose(dx.numpy(), [4.0], rtol=1e-5)
+
+
+def test_eager_tensor_capture_is_runtime_input():
+    k = fw.EagerTensor(np.array([4.0], np.float32))
+
+    @repro.function
+    def f(x):
+        return x + k
+
+    cf = f.get_concrete_function(np.ones(1, np.float32))
+    assert [c.kind for c in cf.captures] == ["tensor"]
+    np.testing.assert_allclose(f(np.ones(1, np.float32)).numpy(), [5.0])
+    # In-place mutation of the captured tensor is visible: it feeds the
+    # plan at call time instead of having been baked as a Const.
+    k.numpy()[...] = 10.0
+    np.testing.assert_allclose(f(np.ones(1, np.float32)).numpy(), [11.0])
+    assert f.trace_count == 1
+
+
+def test_captures_deduplicate_by_identity():
+    v = fw.Variable(np.array([2.0], np.float32), name=_uname("cap_d"))
+    k = fw.EagerTensor(np.array([3.0], np.float32))
+
+    @repro.function
+    def f(x):
+        return x * v.value() + v.value() + k + k
+
+    cf = f.get_concrete_function(np.ones(1, np.float32))
+    assert len(cf.captures) == 2
+    assert sorted(c.kind for c in cf.captures) == ["tensor", "variable"]
+    np.testing.assert_allclose(f(np.ones(1, np.float32)).numpy(), [10.0])
+
+
+@pytest.mark.parametrize("backend", ["graph", "lantern"])
+def test_set_capture_values_hot_swaps_weights(backend):
+    model = _Linear(backend)
+    x = np.ones((1, 3), np.float32)
+    cf = model.predict.get_concrete_function(x)
+    model.predict(x)
+    values = cf.capture_values()
+    assert set(values) == {model.w.name, model.b.name}
+    cf.set_capture_values({
+        model.w.name: np.full((3, 1), 1.0, np.float32),
+        model.b.name: np.array([0.5], np.float32),
+    })
+    np.testing.assert_allclose(model.predict(x).numpy(), [[3.5]], rtol=1e-6)
+    # The swap wrote through to the source variables.
+    np.testing.assert_allclose(model.w.numpy(), 1.0)
+    assert model.predict.trace_count == 1
+
+
+@pytest.mark.parametrize("backend", ["graph", "lantern"])
+def test_set_capture_values_validates(backend):
+    model = _Linear(backend)
+    x = np.ones((1, 3), np.float32)
+    cf = model.predict.get_concrete_function(x)
+    with pytest.raises(KeyError, match="no capture"):
+        cf.set_capture_values({"nope": np.zeros(1, np.float32)})
+    # A bad shape in a multi-tensor swap must reject *before* touching
+    # anything — no half-applied swap, and the model keeps serving.
+    with pytest.raises(ValueError, match="shape"):
+        cf.set_capture_values({
+            model.b.name: np.zeros((1,), np.float32),   # valid...
+            model.w.name: np.zeros((7, 7), np.float32),  # ...invalid
+        })
+    np.testing.assert_allclose(model.w.numpy(), 2.0)
+    np.testing.assert_allclose(model.predict(x).numpy(), [[6.0]], rtol=1e-6)
+
+
+def test_backward_uses_forward_time_eager_capture():
+    # A hot-swap landing between forward and gradient() must not leak
+    # into the backward pass (tensor-kind captures included).
+    k = fw.EagerTensor(np.array([2.0], np.float32))
+
+    @repro.function
+    def f(x):
+        return ops.reduce_sum(x * k * k)
+
+    x = fw.EagerTensor(np.array([3.0], np.float32))
+    cf = f.get_concrete_function(x)
+    with GradientTape() as tape:
+        tape.watch(x)
+        out = f(x)
+    cf.set_capture_values({cf.captures[0].name: np.array([50.0], np.float32)})
+    (dx,) = tape.gradient(out, [x])
+    np.testing.assert_allclose(dx.numpy(), [4.0], rtol=1e-5)  # k^2 at k=2
+    # ... and the swap is visible to the *next* forward call.
+    np.testing.assert_allclose(f(x).numpy(), 3.0 * 2500.0, rtol=1e-5)
+
+
+def test_frozen_export_still_works(tmp_path):
+    from repro.serving import load, save
+
+    model = _Linear("graph")
+    model.w.assign(np.full((3, 1), 3.0, np.float32))
+    path = str(tmp_path / "frozen")
+    save(model.predict, path, repro.TensorSpec([None, 3], "float32"))
+    model.w.assign(np.zeros((3, 1), np.float32))  # post-export update
+    loaded = load(path)
+    # Frozen artifacts bake the values at export time.
+    np.testing.assert_allclose(
+        loaded.call_flat([np.ones((1, 3), np.float32)]).numpy(),
+        [[9.0]], rtol=1e-6)
+    assert loaded.captures == []
+
+
+def test_variable_reads_in_loop_bodies_still_live():
+    # Reads *inside* control-flow bodies keep live (per-iteration) read
+    # semantics — only top-level trace reads become captures.
+    v = fw.Variable(np.zeros((), np.float32), name=_uname("cap_l"))
+
+    @repro.function
+    def count(n):
+        i = 0
+        while i < n:
+            v.assign_add(1.0)
+            i += 1
+        return i
+
+    count(np.int32(3))
+    np.testing.assert_allclose(v.numpy(), 3.0)
+    count(np.int32(2))
+    np.testing.assert_allclose(v.numpy(), 5.0)
+    assert count.trace_count == 1
+
+
+def test_stateful_trace_still_refuses_export():
+    from repro.function.executable import ExportError
+
+    v = fw.Variable(np.zeros((1,), np.float32), name=_uname("cap_s"))
+
+    @repro.function
+    def step(x):
+        v.assign_add(x)
+        return v.value()
+
+    step(np.ones(1, np.float32))
+    cf = step.concrete_functions()[0]
+    ok, reason = cf.export_compatibility()
+    assert not ok and "stateful" in reason.lower() or "pure" in reason
+    with pytest.raises(ExportError):
+        cf.export_spec()

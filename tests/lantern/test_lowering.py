@@ -129,7 +129,7 @@ class TestLowerGraph:
             two = g.constant(2.0)
             prod = g.create_op("Mul", [a, two], {}).outputs[0]
             out = g.create_op("Tanh", [prod], {}).outputs[0]
-        program, fdef = lower_graph(g, [a], [out], name="f")
+        program, fdef, _ = lower_graph(g, [a], [out], name="f")
         compiled = compiler.compile_program(program)
         value, bwd = compiled.namespace["f"](0.5)
         assert np.isclose(value, np.tanh(1.0))
@@ -146,7 +146,7 @@ class TestLowerGraph:
             pb = g.placeholder("float32", (3, 4), name="w")
             out = g.create_op(
                 "MatMul", [pa, pb], {"transpose_a": True}).outputs[0]
-        program, _ = lower_graph(g, [pa, pb], [out], name="f")
+        program, _, _ = lower_graph(g, [pa, pb], [out], name="f")
         compiled = compiler.compile_program(program, with_grad=False)
         got = compiled.run("f", x, w)
         assert np.allclose(got, x.T @ w, atol=1e-6)
@@ -157,7 +157,7 @@ class TestLowerGraph:
             a = g.placeholder("float32", (), name="a")
             ident = g.create_op("Identity", [a], {}).outputs[0]
             out = g.create_op("Neg", [ident], {}).outputs[0]
-        program, _ = lower_graph(g, [a], [out], name="f")
+        program, _, _ = lower_graph(g, [a], [out], name="f")
         compiled = compiler.compile_program(program, with_grad=False)
         assert compiled.run("f", 3.0) == -3.0
 
@@ -178,27 +178,79 @@ class TestLowerGraph:
                 with g.as_default():
                     a = g.placeholder("float32", (2, 3), name="a")
                     out = g.create_op(op_type, [a], {"axis": axis}).outputs[0]
-                program, fdef = lower_graph(g, [a], [out], name="f")
+                program, fdef, _ = lower_graph(g, [a], [out], name="f")
                 compiled = compiler.compile_program(program, with_grad=False)
                 np.testing.assert_allclose(
                     compiled.run("f", x), np_fn(x, axis=axis), rtol=1e-6)
 
-    def test_keepdims_reduction_unsupported(self):
+    def test_keepdims_reductions_lower(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(2, 3)).astype(np.float32)
+        for op_type, np_fn in (("Sum", np.sum), ("Mean", np.mean)):
+            for axis in (None, 0, 1):
+                g = Graph("t")
+                with g.as_default():
+                    a = g.placeholder("float32", (2, 3), name="a")
+                    out = g.create_op(
+                        op_type, [a],
+                        {"axis": axis, "keepdims": True}).outputs[0]
+                program, _, _ = lower_graph(g, [a], [out], name="f")
+                compiled = compiler.compile_program(program, with_grad=False)
+                np.testing.assert_allclose(
+                    compiled.run("f", x),
+                    np_fn(x, axis=axis, keepdims=True), rtol=1e-6)
+
+    def test_negative_axis_reductions_lower(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(2, 3)).astype(np.float32)
+        for axis in (-1, -2):
+            for keepdims in (False, True):
+                g = Graph("t")
+                with g.as_default():
+                    a = g.placeholder("float32", (2, 3), name="a")
+                    out = g.create_op(
+                        "Sum", [a],
+                        {"axis": axis, "keepdims": keepdims}).outputs[0]
+                program, _, _ = lower_graph(g, [a], [out], name="f")
+                compiled = compiler.compile_program(program, with_grad=False)
+                np.testing.assert_allclose(
+                    compiled.run("f", x),
+                    np.sum(x, axis=axis, keepdims=keepdims), rtol=1e-6)
+
+    def test_negative_axis_without_rank_refused(self):
         g = Graph("t")
         with g.as_default():
-            a = g.placeholder("float32", (2, 3), name="a")
-            out = g.create_op(
-                "Sum", [a], {"axis": 1, "keepdims": True}).outputs[0]
-        with pytest.raises(LanternLoweringError, match="keepdims"):
+            a = g.placeholder("float32", None, name="a")  # unknown rank
+            out = g.create_op("Sum", [a], {"axis": -1}).outputs[0]
+        with pytest.raises(LanternLoweringError, match="rank"):
             lower_graph(g, [a], [out], name="f")
 
-    def test_negative_axis_reduction_unsupported(self):
-        g = Graph("t")
-        with g.as_default():
-            a = g.placeholder("float32", (2, 3), name="a")
-            out = g.create_op("Sum", [a], {"axis": -1}).outputs[0]
-        with pytest.raises(LanternLoweringError, match="axis"):
-            lower_graph(g, [a], [out], name="f")
+    def test_keepdims_reduction_adjoints(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(2, 3)).astype(np.float32)
+        for op_type in ("Sum", "Mean"):
+            for axis in (None, 0, 1):
+                g = Graph("t")
+                with g.as_default():
+                    a = g.placeholder("float32", (2, 3), name="a")
+                    red = g.create_op(
+                        op_type, [a],
+                        {"axis": axis, "keepdims": True}).outputs[0]
+                    out = g.create_op("Sum", [red], {}).outputs[0]
+                program, _, _ = lower_graph(g, [a], [out], name="f")
+                compiled = compiler.compile_program(program, with_grad=True)
+                res, bwd = compiled.namespace["f"](x)
+                (dx,) = bwd(1.0)
+                # d(sum of reduction)/dx: ones for Sum, 1/n along the
+                # reduced axis (or 1/size overall) for Mean.
+                if op_type == "Sum":
+                    expect = np.ones_like(x)
+                elif axis is None:
+                    expect = np.ones_like(x) / x.size
+                else:
+                    expect = np.ones_like(x) / x.shape[axis]
+                np.testing.assert_allclose(
+                    np.broadcast_to(dx, x.shape), expect, rtol=1e-6)
 
     def test_error_is_execution_error(self):
         from repro.framework.errors import ExecutionError

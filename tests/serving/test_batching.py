@@ -169,3 +169,118 @@ def test_stats_and_average():
         assert stats.requests == 8
         assert batcher.average_batch_size == pytest.approx(
             stats.requests / stats.batches)
+
+
+# ---------------------------------------------------------------------------
+# Backpressure: bounded queues reject instead of growing
+# ---------------------------------------------------------------------------
+
+
+class _GatedExecutable(repro.Executable):
+    """A stub executable whose call blocks until released."""
+
+    name = "gated"
+    backend = "stub"
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.calls = 0
+
+    @property
+    def structured_input_signature(self):
+        return [repro.TensorSpec([2], "float32")]
+
+    @property
+    def variables(self):
+        return []
+
+    def export_spec(self, freeze=True):
+        raise NotImplementedError
+
+    def call_flat(self, flat_args):
+        self.calls += 1
+        self.entered.set()
+        assert self.release.wait(10.0), "test never released the gate"
+        from repro.framework.eager.tensor import EagerTensor
+
+        return EagerTensor(np.asarray(flat_args[0]))
+
+
+def test_max_queue_rejects_when_full():
+    from repro.serving import QueueFullError
+
+    exe = _GatedExecutable()
+    batcher = MicroBatcher(exe, max_batch_size=1, batch_timeout=0.0,
+                           max_queue=2)
+    example = np.zeros((2,), np.float32)
+    threads = []
+    try:
+        # First request occupies the worker (blocked inside call_flat).
+        t0 = threading.Thread(target=lambda: batcher.submit([example]))
+        t0.start()
+        threads.append(t0)
+        assert exe.entered.wait(10.0)
+        # Two more fill the bounded queue...
+        for _ in range(2):
+            t = threading.Thread(target=lambda: batcher.submit([example]))
+            t.start()
+            threads.append(t)
+        deadline = time.monotonic() + 10.0
+        while len(batcher._pending) < 2:
+            assert time.monotonic() < deadline, "queue never filled"
+            time.sleep(0.001)
+        # ... and the next submit is rejected, immediately and loudly.
+        with pytest.raises(QueueFullError, match="full"):
+            batcher.submit([example])
+        assert batcher.stats.rejected == 1
+    finally:
+        exe.release.set()
+        for t in threads:
+            t.join()
+        batcher.close()
+
+
+def test_max_queue_validation():
+    exe, _ = _model()
+    with pytest.raises(ValueError, match="max_queue"):
+        MicroBatcher(exe, max_queue=0)
+
+
+def test_server_maps_queue_full_to_503():
+    from repro.serving import ModelServer, client
+
+    exe = _GatedExecutable()
+    server = ModelServer()
+    server.add_signature("gated", exe, max_batch_size=1, batch_timeout=0.0,
+                         max_queue=1)
+    rejected = []
+    threads = []
+    with server:
+        url = server.url
+
+        def hit():
+            try:
+                client.predict(url, "gated", [[0.0, 0.0]], timeout=30.0)
+            except client.ServingError as e:
+                rejected.append(e.status)
+
+        try:
+            t0 = threading.Thread(target=hit)
+            t0.start()
+            threads.append(t0)
+            assert exe.entered.wait(10.0)
+            t1 = threading.Thread(target=hit)
+            t1.start()
+            threads.append(t1)
+            batcher = server._endpoints["gated"].active_version().batcher
+            deadline = time.monotonic() + 10.0
+            while len(batcher._pending) < 1:
+                assert time.monotonic() < deadline, "queue never filled"
+                time.sleep(0.001)
+            hit()  # queue at bound -> 503 backpressure
+            assert rejected and rejected[-1] == 503
+        finally:
+            exe.release.set()
+            for t in threads:
+                t.join()
