@@ -16,6 +16,11 @@ Packages:
   - :mod:`repro.serving` -- export (``repro.saved_function.save/load``),
     dynamic micro-batching and a threaded HTTP model server over the
     backend-neutral ``Executable`` protocol.
+  - :mod:`repro.runtime` -- the shared execution engine: compiled
+    ``ExecutionPlan``s (constant pre-evaluation, dead-step elision,
+    buffer reuse) behind both ``Session.run`` and the slot-addressed
+    positional fast path that function calls and serving dispatch
+    through.
 """
 
 __version__ = "0.1.0"
@@ -41,6 +46,7 @@ __all__ = [
     "TensorSpec",
     "serving",
     "saved_function",
+    "runtime",
 ]
 
 

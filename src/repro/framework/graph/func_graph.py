@@ -56,6 +56,15 @@ class ExternalCapture:
             return self.source._state.read()
         return self.source.numpy()
 
+    def reader(self):
+        """A zero-arg callable the runtime invokes *before each run* to
+        re-resolve this capture — the read-before-run hook, pre-bound so
+        the per-call path skips kind dispatch and wrapper attribute
+        lookups."""
+        if self.kind == "variable":
+            return self.source.read_hook()
+        return self.source.numpy
+
     def __repr__(self):
         return (f"<ExternalCapture {self.name!r} kind={self.kind} "
                 f"dtype={self.placeholder.dtype.name} "
@@ -65,7 +74,8 @@ class ExternalCapture:
 class FuncGraph(Graph):
     """A graph produced by tracing a Python function."""
 
-    def __init__(self, name, outer_graph, capture_external=False):
+    def __init__(self, name, outer_graph, capture_external=False,
+                 freeze_captures=False):
         super().__init__(name=name)
         self.outer_graph = outer_graph
         # Parallel lists: captures[i] is the outer tensor whose runtime
@@ -76,9 +86,15 @@ class FuncGraph(Graph):
         # become ExternalCaptures instead of baked Const nodes.  True only
         # for top-level trace graphs.
         self.capture_external = capture_external
+        # With freeze_captures, concrete outside values are resolved *at
+        # trace time* and baked as Const nodes — no runtime inputs, no
+        # hot-swapping, but constant folding sees right through the
+        # weights.  For closures that really are constant.
+        self.freeze_captures = freeze_captures
         # Ordered ExternalCapture entries, deduplicated by source identity.
         self.external_captures = []
         self._external_capture_index = {}
+        self._frozen_capture_index = {}
         # Declared inputs (loop variables / branch parameters).
         self.inputs = []
         # Flat output tensors, set when tracing finishes.
@@ -123,6 +139,20 @@ class FuncGraph(Graph):
     # -- external (concrete-value) captures ---------------------------------
 
     def _capture_concrete(self, source, kind, dtype, shape, name):
+        if self.freeze_captures:
+            cached = self._frozen_capture_index.get(id(source))
+            if cached is not None:
+                return cached[1]
+            value = (source._state.read() if kind == "variable"
+                     else source.numpy())
+            const = self.constant(
+                np.asarray(value), name=name or "frozen_capture")
+            # The entry pins `source`: the index is keyed by id(), and a
+            # source garbage-collected mid-trace could otherwise recycle
+            # its id into a *different* object, handing that object this
+            # stale baked constant.
+            self._frozen_capture_index[id(source)] = (source, const)
+            return const
         entry = self._external_capture_index.get(id(source))
         if entry is not None:
             return entry.placeholder

@@ -19,7 +19,7 @@ import numpy as np
 
 from .graph import Graph, Tensor
 
-__all__ = ["optimize_graph", "count_ops"]
+__all__ = ["optimize_graph", "count_ops", "has_opaque_attrs"]
 
 # Attrs that reference subgraphs or runtime state; ops carrying these are
 # never folded or deduplicated.
@@ -151,5 +151,14 @@ def optimize_graph(graph, fetches, fold_constants=True, cse=True):
     return new_graph, {f: tensor_map[id(f)] for f in fetches}
 
 
-def _has_opaque_attrs(op):
+def has_opaque_attrs(op):
+    """True if ``op`` carries subgraph/runtime-state attrs.
+
+    Such ops (Cond, While, functional bodies) are opaque to value-level
+    rewrites: neither :func:`optimize_graph` nor the runtime planner's
+    constant pre-evaluation may fold or deduplicate them.
+    """
     return any(k in op.attrs for k in _OPAQUE_ATTRS)
+
+
+_has_opaque_attrs = has_opaque_attrs

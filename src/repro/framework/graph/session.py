@@ -1,16 +1,23 @@
-"""Session: compiled execution of a graph.
+"""Session: the feed-dict compatibility front over ``repro.runtime``.
 
-``Session.run(fetches, feed_dict)`` prunes the graph to what the fetches
-need, compiles a flat execution plan (kernel + pre-resolved value-slot
-locators per op), caches it keyed by (fetches, feeds, graph version), and
-re-executes that plan on subsequent calls.
+``Session.run(fetches, feed_dict)`` compiles (and LRU-caches) an
+:class:`~repro.runtime.ExecutionPlan` — pruning the graph to what the
+fetches need and resolving every op input to a value slot — then binds
+the feed dict and executes the plan.
 
-This captures the cost model that Table 2 of the paper measures:
+This is deliberately the *general* path, and it keeps the cost model
+that Table 2 of the paper measures:
 
 - plan compilation is a one-time cost (like TF's graph pruning/placement);
-- each ``run`` call pays a fixed overhead for fetch/feed resolution —
+- each ``run`` call pays a fixed overhead for fetch flattening, cache-key
+  construction, feed-dict binding and per-feed validation *copies* —
   which is exactly the overhead the "loop in Python" training style pays
   1000× and the "loop in graph" style pays once.
+
+Consumers that call one compiled signature repeatedly (traced
+``ConcreteFunction``s, loaded artifacts, the micro-batcher) skip this
+wrapper entirely: they bind a :class:`~repro.runtime.BoundPlan` once and
+hit its positional ``execute_flat`` per call.
 """
 
 from __future__ import annotations
@@ -19,32 +26,12 @@ import threading
 
 import numpy as np
 
+from ...runtime import PlanCache, compile_plan
 from .. import nest
-from ..errors import ExecutionError, FetchError, GraphError
-from .graph import Graph, Operation, Tensor
+from ..errors import FetchError
+from .graph import Graph
 
 __all__ = ["Session"]
-
-
-class _CompiledPlan:
-    """A pruned, topologically-ordered, slot-resolved execution plan."""
-
-    __slots__ = ("steps", "fetch_locators", "feed_slots", "n_slots",
-                 "fetch_structure", "refs")
-
-    def __init__(self, steps, fetch_locators, feed_slots, n_slots,
-                 fetch_structure, refs=()):
-        self.steps = steps
-        self.fetch_locators = fetch_locators
-        self.feed_slots = feed_slots
-        self.n_slots = n_slots
-        self.fetch_structure = fetch_structure
-        # Strong references to the fetch/feed objects this plan was
-        # compiled for.  Cache keys contain id()s; holding the objects
-        # guarantees CPython cannot recycle those ids into *different*
-        # tensors while the cache entry is alive, which would otherwise
-        # serve a stale plan.
-        self.refs = refs
 
 
 class Session:
@@ -58,16 +45,28 @@ class Session:
     *kernels*: concurrent runs that assign the same ``Variable``
     interleave nondeterministically, so concurrent serving should stick
     to pure (read-only / frozen) fetches.
+
+    Args:
+      graph: the graph to execute.
+      plan_cache_size: bound on cached compiled plans (LRU eviction
+        beyond it); ``None`` uses
+        :data:`repro.runtime.DEFAULT_PLAN_CACHE_SIZE` (128).  Counters
+        are exposed via :attr:`plan_cache_stats`.
     """
 
-    def __init__(self, graph):
+    def __init__(self, graph, plan_cache_size=None):
         if not isinstance(graph, Graph):
             raise TypeError(f"Session requires a Graph, got {type(graph).__name__}")
         self.graph = graph
-        self._plan_cache = {}
+        self._plan_cache = PlanCache(plan_cache_size)
         self._compile_lock = threading.Lock()
 
     # -- public API -----------------------------------------------------------
+
+    @property
+    def plan_cache_stats(self):
+        """Hit/miss/eviction counters of the compiled-plan LRU cache."""
+        return self._plan_cache.stats
 
     def run(self, fetches, feed_dict=None):
         """Evaluate ``fetches`` (a tensor/op or nested structure thereof)."""
@@ -81,17 +80,17 @@ class Session:
         plan = self._plan_cache.get(key)
         if plan is None:
             # Double-checked behind the lock: two racing first calls
-            # must not both insert (the loser's plan would strand the
-            # winner's refs and waste a compile), and dict reads stay
-            # lock-free on the hot path.
+            # must not both compile-and-insert (the loser's plan would
+            # strand the winner's refs and waste a compile).
             with self._compile_lock:
-                plan = self._plan_cache.get(key)
+                plan = self._plan_cache.peek(key)
                 if plan is None:
-                    plan = self._compile(flat_fetches, feed_dict)
+                    plan = compile_plan(
+                        self.graph, flat_fetches, list(feed_dict))
                     plan.refs = (tuple(flat_fetches), tuple(feed_dict))
-                    self._plan_cache[key] = plan
+                    plan = self._plan_cache.put(key, plan)
 
-        values = [None] * plan.n_slots
+        values = plan.new_values()
         for tensor, slot in plan.feed_slots:
             try:
                 fed = feed_dict[tensor]
@@ -102,7 +101,8 @@ class Session:
             if tensor.dtype.np_dtype is not None:
                 # Like TF, feeds are validated and *copied* into the
                 # runtime on every call — part of the per-run overhead
-                # that in-graph loops amortize (paper §9, Table 2).
+                # that in-graph loops (and the runtime's positional fast
+                # path) amortize (paper §9, Table 2).
                 fed = np.array(fed, dtype=tensor.dtype.np_dtype, copy=True)
                 if not tensor.shape.is_compatible_with(fed.shape):
                     raise FetchError(
@@ -111,20 +111,7 @@ class Session:
                     )
             values[slot] = (fed,)
 
-        for slot, kernel, locators, single, op_name in plan.steps:
-            try:
-                out = kernel(*[values[j][k] for j, k in locators])
-            except ExecutionError:
-                raise
-            except Exception as e:
-                raise ExecutionError(
-                    f"Error executing op {op_name!r}: {e}", op_name=op_name
-                ) from e
-            values[slot] = (out,) if single else tuple(out)
-
-        flat_results = [
-            values[j][k] if j >= 0 else None for j, k in plan.fetch_locators
-        ]
+        flat_results = plan.run_flat(values)
         return nest.pack_sequence_as(fetches, flat_results)
 
     def __enter__(self):
@@ -132,110 +119,3 @@ class Session:
 
     def __exit__(self, *exc):
         return False
-
-    # -- plan compilation -------------------------------------------------------
-
-    def _compile(self, flat_fetches, feed_dict):
-        fed_tensors = {id(t): t for t in feed_dict}
-        for t in feed_dict:
-            if not isinstance(t, Tensor) or t.graph is not self.graph:
-                raise FetchError(f"Feed key {t!r} is not a tensor of this graph")
-
-        fetch_tensors = []
-        for f in flat_fetches:
-            if isinstance(f, Tensor):
-                if f.graph is not self.graph:
-                    raise FetchError(f"Fetch {f.name!r} is not in this session's graph")
-                fetch_tensors.append(f)
-            elif isinstance(f, Operation):
-                if f.graph is not self.graph:
-                    raise FetchError(f"Fetch {f.name!r} is not in this session's graph")
-                fetch_tensors.append(f.outputs[0] if f.outputs else None)
-            elif f is None:
-                fetch_tensors.append(None)
-            else:
-                # Variables fetch their read value.
-                from .variables import Variable
-
-                if isinstance(f, Variable):
-                    fetch_tensors.append(f.value())
-                else:
-                    raise FetchError(
-                        f"Cannot fetch object of type {type(f).__name__}: {f!r}"
-                    )
-
-        # Reverse reachability from fetches, stopping at fed tensors.
-        needed = []
-        seen = set()
-        stack = [t.op for t in fetch_tensors if t is not None and id(t) not in fed_tensors]
-        while stack:
-            op = stack.pop()
-            if id(op) in seen:
-                continue
-            seen.add(id(op))
-            needed.append(op)
-            for t in op.inputs:
-                if id(t) in fed_tensors:
-                    continue
-                if id(t.op) not in seen:
-                    stack.append(t.op)
-            for c in op.control_inputs:
-                if id(c) not in seen:
-                    stack.append(c)
-
-        # Topological order by creation index (graphs append in topo order;
-        # control inputs always reference earlier ops).
-        order = {id(op): i for i, op in enumerate(self.graph.ops)}
-        needed.sort(key=lambda op: order[id(op)])
-
-        slot_of = {id(op): i for i, op in enumerate(needed)}
-        n_slots = len(needed)
-        feed_slots = []
-        # Feeds get dedicated slots appended after op slots.
-        feed_slot_of = {}
-        for t in feed_dict:
-            feed_slot_of[id(t)] = n_slots
-            feed_slots.append((t, n_slots))
-            n_slots += 1
-
-        def locator(tensor):
-            if id(tensor) in feed_slot_of:
-                return (feed_slot_of[id(tensor)], 0)
-            return (slot_of[id(tensor.op)], tensor.value_index)
-
-        steps = []
-        for op in needed:
-            if op.type == "Placeholder":
-                if id(op.outputs[0]) not in feed_slot_of:
-                    raise FetchError(
-                        f"Placeholder {op.name!r} is required by the fetches but "
-                        "was not fed"
-                    )
-                continue
-            locators = tuple(locator(t) for t in op.inputs)
-            runtime_attrs = {
-                k: v for k, v in op.attrs.items() if not k.startswith("_")
-            }
-            kernel = op.op_def.kernel
-            if runtime_attrs:
-                import functools
-
-                kernel = functools.partial(kernel, **runtime_attrs)
-            steps.append(
-                (
-                    slot_of[id(op)],
-                    kernel,
-                    locators,
-                    op.op_def.num_outputs == 1,
-                    op.name,
-                )
-            )
-
-        fetch_locators = []
-        for t in fetch_tensors:
-            if t is None:
-                fetch_locators.append((-1, 0))
-            else:
-                fetch_locators.append(locator(t))
-
-        return _CompiledPlan(steps, tuple(fetch_locators), tuple(feed_slots), n_slots, None)

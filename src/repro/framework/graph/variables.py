@@ -131,6 +131,18 @@ class Variable(TensorOpsMixin):
     def numpy(self):
         return self._state.read()
 
+    def read_hook(self):
+        """The runtime's read-before-run hook: a zero-arg callable
+        returning this variable's current value.
+
+        Bound execution plans (``repro.runtime``) capture variables as
+        runtime inputs and call this hook immediately before every run,
+        so assignments between calls are visible with no retrace — while
+        the per-call path skips the Python ``Variable`` wrapper (cache
+        checks, EagerTensor re-wrapping) entirely.
+        """
+        return self._state.read
+
     # -- reads ------------------------------------------------------------------
 
     def value(self):
@@ -147,11 +159,21 @@ class Variable(TensorOpsMixin):
         g = context.get_default_graph()
         cached = self._graph_reads.get(id(g))
         if cached is None:
-            if getattr(g, "capture_external", False):
+            # A frozen trace (freeze_captures=True) can only bake
+            # variables that already hold a value; variables *created
+            # during* that trace are uninitialized until tracing ends,
+            # so they keep a live read op instead.
+            frozen_uninitialized = (
+                getattr(g, "freeze_captures", False)
+                and self._state.value is None
+            )
+            if getattr(g, "capture_external", False) and not frozen_uninitialized:
                 # Top-level trace graph: the read is an external capture —
-                # a runtime input re-resolved (re-read) on every call —
-                # so assignments between calls are visible with no
-                # retrace, and export can either freeze or checkpoint it.
+                # a runtime input re-resolved (re-read by the runtime's
+                # read-before-run hook) on every call — so assignments
+                # between calls are visible with no retrace, and export
+                # can either freeze or checkpoint it.  Frozen traces bake
+                # the current value as a Const instead.
                 cached = g.capture_variable(self)
             else:
                 op = g.create_op(

@@ -48,29 +48,52 @@ def _bool_dtype_fn(input_dtypes, attrs):
     return [dtypes.bool_]
 
 
-def _binary(name, fn, *, grad_capable_dtype=_promote_dtype_fn):
+def _binary(name, fn, *, grad_capable_dtype=_promote_dtype_fn,
+            inplace_kernel=None):
+    # NumPy ufunc binaries always allocate their result (fresh_output),
+    # so their outputs are safe buffer-donation targets.
     register_op(
         name,
         fn,
         shape_fn=_broadcast_shape_fn,
         dtype_fn=grad_capable_dtype,
+        inplace_kernel=inplace_kernel,
+        fresh_output=True,
     )
 
 
-def _unary(name, fn, *, dtype_fn=_first_dtype_fn):
-    register_op(name, fn, shape_fn=_same_shape_fn, dtype_fn=dtype_fn)
+def _unary(name, fn, *, dtype_fn=_first_dtype_fn, inplace_kernel=None):
+    register_op(name, fn, shape_fn=_same_shape_fn, dtype_fn=dtype_fn,
+                inplace_kernel=inplace_kernel, fresh_output=True)
+
+
+def _ufunc_out(ufunc):
+    """An ``out=``-accepting in-place variant for a NumPy ufunc kernel.
+
+    Safe only for elementwise ufuncs: NumPy guarantees correct results
+    when ``out`` aliases an input for these (same-shape, same-dtype use —
+    the runtime planner enforces both before donating a buffer).
+    """
+    def inplace_kernel(*args, out):
+        return ufunc(*args, out=out)
+
+    return inplace_kernel
 
 
 # ---------------------------------------------------------------------------
 # Arithmetic
 # ---------------------------------------------------------------------------
 
-_binary("Add", lambda a, b: np.add(a, b))
-_binary("Sub", lambda a, b: np.subtract(a, b))
-_binary("Mul", lambda a, b: np.multiply(a, b))
+_binary("Add", lambda a, b: np.add(a, b), inplace_kernel=_ufunc_out(np.add))
+_binary("Sub", lambda a, b: np.subtract(a, b),
+        inplace_kernel=_ufunc_out(np.subtract))
+_binary("Mul", lambda a, b: np.multiply(a, b),
+        inplace_kernel=_ufunc_out(np.multiply))
 _binary("Pow", lambda a, b: np.power(a, b))
-_binary("Maximum", lambda a, b: np.maximum(a, b))
-_binary("Minimum", lambda a, b: np.minimum(a, b))
+_binary("Maximum", lambda a, b: np.maximum(a, b),
+        inplace_kernel=_ufunc_out(np.maximum))
+_binary("Minimum", lambda a, b: np.minimum(a, b),
+        inplace_kernel=_ufunc_out(np.minimum))
 
 
 def _div_kernel(a, b):
@@ -80,7 +103,8 @@ def _div_kernel(a, b):
 
 
 register_op("Div", _div_kernel, shape_fn=_broadcast_shape_fn,
-            dtype_fn=lambda dts, attrs: [dts[0] if dts[0].is_floating else dtypes.float64])
+            dtype_fn=lambda dts, attrs: [dts[0] if dts[0].is_floating else dtypes.float64],
+            fresh_output=True)
 
 
 def _floordiv_kernel(a, b):
@@ -88,12 +112,13 @@ def _floordiv_kernel(a, b):
 
 
 register_op("FloorDiv", _floordiv_kernel, shape_fn=_broadcast_shape_fn,
-            dtype_fn=_promote_dtype_fn)
+            dtype_fn=_promote_dtype_fn, fresh_output=True)
 _binary("Mod", lambda a, b: np.mod(a, b))
 
-_unary("Neg", lambda a: np.negative(a))
-_unary("Abs", lambda a: np.abs(a))
-_unary("Exp", lambda a: np.exp(a))
+_unary("Neg", lambda a: np.negative(a),
+       inplace_kernel=_ufunc_out(np.negative))
+_unary("Abs", lambda a: np.abs(a), inplace_kernel=_ufunc_out(np.abs))
+_unary("Exp", lambda a: np.exp(a), inplace_kernel=_ufunc_out(np.exp))
 
 
 def _log_kernel(a):
@@ -101,7 +126,7 @@ def _log_kernel(a):
 
 
 _unary("Log", _log_kernel)
-_unary("Tanh", lambda a: np.tanh(a))
+_unary("Tanh", lambda a: np.tanh(a), inplace_kernel=_ufunc_out(np.tanh))
 
 
 def _sigmoid_kernel(a):
@@ -170,7 +195,8 @@ def _matmul_shape_fn(input_shapes, attrs):
     return [shapes.TensorShape([m, n])]
 
 
-register_op("MatMul", _matmul_kernel, shape_fn=_matmul_shape_fn, dtype_fn=_promote_dtype_fn)
+register_op("MatMul", _matmul_kernel, shape_fn=_matmul_shape_fn, dtype_fn=_promote_dtype_fn,
+            fresh_output=True)
 
 
 def _tensordot_kernel(a, b, axes=1):

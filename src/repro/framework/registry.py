@@ -35,6 +35,18 @@ class OpDef:
       dtype_fn: optional ``fn(input_dtypes, attrs) -> [DType]``.
       stateful: True for ops with side effects (variables, random, print);
         stateful ops are never deduplicated or constant-folded.
+      inplace_kernel: optional ``fn(*input_values, out=buffer)`` variant
+        writing the result into ``out`` (same shape/dtype as the result).
+        The runtime planner uses it to reuse a single-consumer
+        intermediate's buffer instead of allocating; only elementwise
+        kernels whose NumPy implementation supports ``out=`` (and
+        tolerates output aliasing an input) should register one.
+      fresh_output: True when the kernel always *allocates* its result —
+        the returned array never aliases an input, a variable's storage,
+        or any other external buffer.  Only fresh outputs are eligible
+        as buffer-donation targets: donating an alias-returning kernel's
+        output (``Identity``, variable reads, views) would let an
+        in-place step silently corrupt caller arrays or live state.
     """
 
     __slots__ = (
@@ -45,10 +57,13 @@ class OpDef:
         "shape_fn",
         "dtype_fn",
         "stateful",
+        "inplace_kernel",
+        "fresh_output",
     )
 
     def __init__(self, name, kernel, *, num_outputs=1, grad_fn=None, shape_fn=None,
-                 dtype_fn=None, stateful=False):
+                 dtype_fn=None, stateful=False, inplace_kernel=None,
+                 fresh_output=False):
         self.name = name
         self.kernel = kernel
         self.num_outputs = num_outputs
@@ -56,6 +71,8 @@ class OpDef:
         self.shape_fn = shape_fn
         self.dtype_fn = dtype_fn
         self.stateful = stateful
+        self.inplace_kernel = inplace_kernel
+        self.fresh_output = fresh_output
 
     def __repr__(self):
         return f"OpDef({self.name!r}, outputs={self.num_outputs}, stateful={self.stateful})"

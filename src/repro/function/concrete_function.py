@@ -11,10 +11,13 @@ inputs, then freezing the outcome:
 2. **optimize** — :func:`~repro.framework.graph.optimize.optimize_graph`
    (DCE / constant folding / CSE) runs at trace time, so every later call
    executes the already-optimized graph;
-3. **execute** — a private :class:`~repro.framework.graph.session.Session`
-   runs the optimized graph; its compiled plan is built on the first call
-   and reused after that, which is what amortizes staging cost across
-   calls (the paper's Table-2 effect, without hand-wiring).
+3. **execute** — the optimized graph compiles into one
+   :class:`~repro.runtime.ExecutionPlan` whose feed tensors are bound to
+   positional slots *at construction* (:class:`~repro.runtime.BoundPlan`);
+   every call is then a plain ``execute_flat`` over pre-ordered values —
+   no feed dict, no cache key, no per-call flattening — which is what
+   amortizes staging cost across calls (the paper's Table-2 effect,
+   without hand-wiring) and keeps per-call dispatch overhead minimal.
 
 Stateful ops staged during the trace (variable assigns, staged prints)
 are added to the run fetches even when no returned tensor depends on
@@ -41,8 +44,8 @@ from ..framework.errors import StagingError
 from ..framework.graph.func_graph import FuncGraph
 from ..framework.graph.graph import Tensor
 from ..framework.graph.optimize import optimize_graph
-from ..framework.graph.session import Session
 from ..framework.graph.variables import Variable
+from ..runtime import BoundPlan, compile_plan
 from . import signature as signature_lib
 from .executable import BackendBuilder, Executable, ExportError, ExportSpec, \
     register_backend_builder
@@ -73,7 +76,8 @@ def _convert_for_trace(python_function, autograph):
     return python_function
 
 
-def trace_func_graph(python_function, canonical, name, autograph=True):
+def trace_func_graph(python_function, canonical, name, autograph=True,
+                     freeze_captures=False):
     """Run one AutoGraph trace of ``python_function`` into a FuncGraph.
 
     The tensor leaves of the canonical signature become placeholders; the
@@ -81,11 +85,17 @@ def trace_func_graph(python_function, canonical, name, autograph=True):
     graph backend (below) and the Lantern graph-translate route
     (:mod:`repro.function.lowering`).
 
+    ``freeze_captures=True`` bakes closed-over state (eager tensors,
+    initialized ``Variable`` reads) into the trace as constants instead
+    of runtime-input captures — restoring trace-time constant folding
+    across the weights, for closures that really are constant.
+
     Returns:
       ``(func_graph, placeholders, result)`` — the traced graph, its
       input placeholders, and the function's structured return value.
     """
-    fg = FuncGraph(f"{name}_graph", outer_graph=None, capture_external=True)
+    fg = FuncGraph(f"{name}_graph", outer_graph=None, capture_external=True,
+                   freeze_captures=freeze_captures)
     converted = _convert_for_trace(python_function, autograph)
     with fg.as_default():
         placeholders = [
@@ -158,17 +168,19 @@ class ConcreteFunction(Executable):
     backend = "graph"
 
     def __init__(self, python_function, canonical, name,
-                 autograph=True, optimize=True):
+                 autograph=True, optimize=True, freeze_captures=False):
         self._python_function = python_function
         self._canonical = canonical
         self._py_signature = signature_lib.signature_of(python_function)
         self.name = name
         self._optimize = optimize
+        self._freeze_captures = freeze_captures
         self._backward = None
 
         # -- 1. trace -------------------------------------------------------
         fg, placeholders, result = trace_func_graph(
-            python_function, canonical, name, autograph=autograph)
+            python_function, canonical, name, autograph=autograph,
+            freeze_captures=freeze_captures)
 
         # -- classify structured outputs -----------------------------------
         self._output_template, tensor_outs = classify_outputs(
@@ -208,17 +220,36 @@ class ConcreteFunction(Executable):
             remap = lambda t: t  # noqa: E731
         self.optimized_graph = opt_graph
 
-        # -- 3. the cached execution plan ------------------------------------
-        self._session = Session(opt_graph)
+        # -- 3. the bound execution plan -------------------------------------
         self._feeds = [remap(ph) for ph in placeholders]
         self._capture_feeds = [remap(ph) for ph in capture_phs]
         # Guards capture reads/writes so a weight hot-swap is atomic with
-        # respect to the snapshot one call feeds its session run.
+        # respect to the snapshot one call feeds its plan execution.
         self._capture_lock = threading.Lock()
+        # Pre-resolved per-capture readers: the runtime re-reads captured
+        # state through these immediately before every execution
+        # (Variables via their read-before-run hook) without touching the
+        # Python wrapper objects on the hot path.
+        self._capture_readers = tuple(c.reader() for c in self._captures)
         self._output_fetches = [remap(t) for t in tensor_outs]
         self._run_fetches = self._output_fetches + [
             remap(t) for t in self._state_fetches_traced
         ]
+        # Bind ONCE: the feed tensors (declared inputs, then captures)
+        # get positional plan slots at construction, so every call is a
+        # plain `execute_flat` — no feed dict, no cache key, no per-call
+        # nest.flatten (the Table-2 dispatch overhead, engineered out).
+        self._runtime_feeds = self._feeds + self._capture_feeds
+        self._bind_lock = threading.Lock()
+        self._bound = BoundPlan(
+            compile_plan(opt_graph, self._run_fetches, self._runtime_feeds),
+            self._runtime_feeds)
+        self._n_outputs = len(self._output_fetches)
+        # When the optimizer produced a fresh graph, nothing ever appends
+        # to it again (the backward pass optimizes into its own graph) —
+        # the per-call version check is only needed when executing the
+        # trace graph directly (optimize=False).
+        self._graph_may_grow = opt_graph is fg
 
     # -- introspection -------------------------------------------------------
 
@@ -296,10 +327,10 @@ class ConcreteFunction(Executable):
                     entry.source._value = value
 
     def _resolved_captures(self):
-        if not self._captures:
+        if not self._capture_readers:
             return ()
         with self._capture_lock:
-            return tuple(c.resolve() for c in self._captures)
+            return tuple(read() for read in self._capture_readers)
 
     # -- export ---------------------------------------------------------------
 
@@ -431,27 +462,55 @@ class ConcreteFunction(Executable):
         return result
 
     def call_flat(self, tensor_values):
-        """Run the compiled plan on flat tensor-leaf values."""
+        """Run the bound plan on flat tensor-leaf values (fast path)."""
         result, _ = self._run(tensor_values, self._resolved_captures())
         return result
 
+    def _current_bound(self):
+        """The bound plan, recompiled if the graph grew since binding.
+
+        The optimized graph only ever gains ops after construction when
+        ``optimize=False`` and the backward pass stages gradients into
+        the trace graph; rebinding then is a one-time event, checked by
+        a single integer comparison per call (and skipped entirely for
+        optimizer-produced graphs, which are immutable by construction).
+        """
+        bound = self._bound
+        if not self._graph_may_grow:
+            return bound
+        if bound.graph_version != self.optimized_graph.version:
+            with self._bind_lock:
+                bound = self._bound
+                if bound.graph_version != self.optimized_graph.version:
+                    bound = BoundPlan(
+                        compile_plan(self.optimized_graph, self._run_fetches,
+                                     self._runtime_feeds),
+                        self._runtime_feeds)
+                    self._bound = bound
+        return bound
+
     def _run(self, tensor_values, capture_values):
-        feed = dict(zip(self._feeds, tensor_values))
-        if self._captures:
-            # One atomic snapshot of the capture values per call: swaps
-            # rebind arrays (never write into them), so a concurrent
-            # hot-swap lands either wholly before or wholly after this
-            # run, never half-way.
-            feed.update(zip(self._capture_feeds, capture_values))
-        fetched = self._session.run(self._run_fetches, feed)
+        # One atomic snapshot of the capture values per call: swaps
+        # rebind arrays (never write into them), so a concurrent
+        # hot-swap lands either wholly before or wholly after this
+        # run, never half-way.
+        args = list(tensor_values)
+        if capture_values:
+            args.extend(capture_values)
+        fetched = self._current_bound().execute_flat(args)
         tensor_outputs = tuple(
-            EagerTensor(fetched[i]) for i in range(len(self._output_fetches)))
+            EagerTensor(v) for v in fetched[:self._n_outputs])
         return self._pack_outputs(tensor_outputs), tensor_outputs
 
     # -- gradients ------------------------------------------------------------
 
     def _ensure_backward(self):
-        """Stage d(outputs)/d(inputs) into the trace graph, once."""
+        """Stage d(outputs)/d(inputs) into the trace graph, once.
+
+        The backward graph binds to the runtime engine exactly like the
+        forward one: positional slots for (inputs, captures, seeds), one
+        compile, ``execute_flat`` per tape replay.
+        """
         if self._backward is not None:
             return self._backward
         from ..framework.graph.gradients import gradients as graph_gradients
@@ -475,33 +534,33 @@ class ConcreteFunction(Executable):
         else:
             bw_graph = fg
             remap = lambda t: t  # noqa: E731
-        self._backward = (
-            Session(bw_graph),
-            [remap(ph) for ph in fg.inputs],
-            [remap(s) for s in seeds],
-            [None if g is None else remap(g) for g in in_grads],
-            [remap(ph) for ph in capture_phs],
-        )
+        grad_ts = [None if g is None else remap(g) for g in in_grads]
+        bw_feeds = ([remap(ph) for ph in fg.inputs]
+                    + [remap(ph) for ph in capture_phs]
+                    + [remap(s) for s in seeds])
+        bound = BoundPlan(
+            compile_plan(bw_graph, [g for g in grad_ts if g is not None],
+                         bw_feeds),
+            bw_feeds)
+        self._backward = (bound, grad_ts, len(fg.inputs))
         return self._backward
 
     def _make_grad_fn(self, capture_snapshot):
         def grad_fn(record, *out_grads):
-            sess, in_phs, seed_phs, grad_ts, cap_phs = \
-                self._ensure_backward()
-            feed = {}
+            bound, grad_ts, n_inputs = self._ensure_backward()
             # record.inputs = tensor leaves then variable pre-call
             # values; the leaves feed input placeholders.  Captures feed
             # the snapshot the forward run used (swaps rebind arrays, so
             # the snapshot is immutable), which keeps the backward pass
             # at the weights the forward pass actually saw even if an
             # optimizer stepped or hot-swapped them in between.
-            for ph, v in zip(in_phs, record.inputs[:len(in_phs)]):
-                feed[ph] = v.numpy()
-            feed.update(zip(cap_phs, capture_snapshot))
-            for ph, g in zip(seed_phs, out_grads):
-                feed[ph] = g.numpy() if isinstance(g, EagerTensor) else g
-            live = [g for g in grad_ts if g is not None]
-            fetched = iter(sess.run(live, feed)) if live else iter(())
+            args = [v.numpy() for v in record.inputs[:n_inputs]]
+            args.extend(capture_snapshot)
+            args.extend(
+                g.numpy() if isinstance(g, EagerTensor) else g
+                for g in out_grads)
+            fetched = (iter(bound.execute_flat(args))
+                       if any(g is not None for g in grad_ts) else iter(()))
             return [
                 None if g is None else EagerTensor(next(fetched))
                 for g in grad_ts
@@ -520,7 +579,8 @@ ConcreteFunction.call_flat.__ag_do_not_convert__ = True
 
 
 def trace_concrete_function(python_function, canonical, name,
-                            autograph=True, optimize=True):
+                            autograph=True, optimize=True,
+                            freeze_captures=False):
     """Trace ``python_function`` for one canonical signature."""
     if context.has_default_graph():
         raise StagingError(
@@ -528,20 +588,22 @@ def trace_concrete_function(python_function, canonical, name,
         )
     return ConcreteFunction(
         python_function, canonical, name,
-        autograph=autograph, optimize=optimize)
+        autograph=autograph, optimize=optimize,
+        freeze_captures=freeze_captures)
 
 
 class _GraphBackendBuilder(BackendBuilder):
-    """The graph route: AutoGraph trace -> optimize -> Session plan."""
+    """The graph route: AutoGraph trace -> optimize -> bound runtime plan."""
 
     name = "graph"
     supports_relaxation = True
 
     def build(self, python_function, canonical, context_, name, *,
-              autograph, optimize):
+              autograph, optimize, freeze_captures=False):
         return trace_concrete_function(
             python_function, canonical, name,
-            autograph=autograph, optimize=optimize)
+            autograph=autograph, optimize=optimize,
+            freeze_captures=freeze_captures)
 
 
 register_backend_builder(_GraphBackendBuilder())

@@ -180,9 +180,15 @@ class Executable(abc.ABC):
 
     def _pack_outputs(self, tensor_outputs):
         """Rebuild the structured result from flat tensor outputs."""
+        template = self._output_template
+        if len(template) == 1 and template[0][0] == "t" and not isinstance(
+                self._output_structure, (tuple, list, dict)):
+            # Single tensor-leaf result — the overwhelmingly common case
+            # on serving hot paths; skip the nest recursion entirely.
+            return tensor_outputs[0]
         leaves = [
             tensor_outputs[payload] if kind == "t" else payload
-            for kind, payload in self._output_template
+            for kind, payload in template
         ]
         return nest.pack_sequence_as(self._output_structure, leaves)
 
@@ -265,8 +271,13 @@ class BackendBuilder:
         return canonical, None
 
     def build(self, python_function, canonical, context, name, *,
-              autograph, optimize):
-        """Compile one executable for the prepared signature."""
+              autograph, optimize, freeze_captures=False):
+        """Compile one executable for the prepared signature.
+
+        ``freeze_captures`` asks the backend to bake closed-over state
+        into the trace as constants (no runtime-input captures); a
+        backend without that notion may ignore it.
+        """
         raise NotImplementedError
 
 

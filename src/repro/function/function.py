@@ -38,7 +38,7 @@ class Function:
 
     def __init__(self, python_function, name=None, autograph=True,
                  optimize=True, reduce_retracing=False, retrace_limit=8,
-                 backend="graph"):
+                 backend="graph", freeze_captures=False):
         original = getattr(python_function, "__ag_original__", None)
         if original is not None:
             python_function = original
@@ -59,6 +59,7 @@ class Function:
         self._reduce_retracing = reduce_retracing
         self._retrace_limit = retrace_limit
         self._backend = backend
+        self._freeze_captures = freeze_captures
         # Lazily computed static-recursion verdict (auto dispatch).
         self._recursive = None
         # (concrete-function name, backend, reason) per trace, newest last.
@@ -177,6 +178,7 @@ class Function:
                 self._python_function, canonical, build_ctx,
                 f"{self._name}_{len(self._cache)}",
                 autograph=self._autograph, optimize=self._optimize,
+                freeze_captures=self._freeze_captures,
             )
             self._cache[canonical.key] = cf
             # Identity-keyed leaves (Variables, model objects) must stay
@@ -271,7 +273,8 @@ Function.get_concrete_function.__ag_do_not_convert__ = True
 
 
 def function(func=None, *, name=None, autograph=True, optimize=True,
-             reduce_retracing=False, retrace_limit=8, backend="graph"):
+             reduce_retracing=False, retrace_limit=8, backend="graph",
+             freeze_captures=False):
     """Decorate ``func`` as a traced, cached graph function.
 
     Usable bare (``@repro.function``), with options
@@ -287,11 +290,17 @@ def function(func=None, *, name=None, autograph=True, optimize=True,
       reduce_retracing: after ``retrace_limit`` traces, relax tensor
         shapes instead of minting one graph per shape.
       retrace_limit: trace budget before relaxing (or warning).
-      backend: ``'graph'`` (trace → optimized graph → Session plan),
-        ``'lantern'`` (trace/stage → §8 S-expression IR → compiled code
-        with CPS gradients; supports recursion and runtime trees), or
-        ``'auto'`` (recursion or tree arguments pick lantern, anything
-        else picks graph).
+      backend: ``'graph'`` (trace → optimized graph → bound runtime
+        plan), ``'lantern'`` (trace/stage → §8 S-expression IR →
+        compiled code with CPS gradients; supports recursion and runtime
+        trees), or ``'auto'`` (recursion or tree arguments pick lantern,
+        anything else picks graph).
+      freeze_captures: bake closed-over state (eager tensors,
+        ``Variable`` reads) into each trace as *constants* instead of
+        runtime-input captures.  Restores trace-time constant folding
+        across the weights — for closures that really are constant; a
+        frozen trace does not see later assignments or hot-swaps, and
+        tape gradients do not flow to the frozen state.
 
     Returns:
       A :class:`Function`, or a decorator when called with options only.
@@ -300,8 +309,8 @@ def function(func=None, *, name=None, autograph=True, optimize=True,
         return functools.partial(
             function, name=name, autograph=autograph, optimize=optimize,
             reduce_retracing=reduce_retracing, retrace_limit=retrace_limit,
-            backend=backend)
+            backend=backend, freeze_captures=freeze_captures)
     return Function(
         func, name=name, autograph=autograph, optimize=optimize,
         reduce_retracing=reduce_retracing, retrace_limit=retrace_limit,
-        backend=backend)
+        backend=backend, freeze_captures=freeze_captures)

@@ -294,7 +294,7 @@ class LanternConcreteFunction(Executable):
     backend = "lantern"
 
     def __init__(self, python_function, canonical, leaf_plan, name,
-                 autograph=True, optimize=True):
+                 autograph=True, optimize=True, freeze_captures=False):
         self._python_function = python_function
         self._canonical = canonical
         self._leaf_plan = list(leaf_plan)
@@ -318,11 +318,15 @@ class LanternConcreteFunction(Executable):
                          or detect_self_recursion(python_function)
                          or closes_over_params(python_function))
         if needs_staging:
+            # freeze_captures does not apply here: the staged route's
+            # closed-over state carriers are lantern Params, which are
+            # runtime storage by construction.
             self.route = "staged"
             self._build_staged()
         else:
             self.route = "graph-lowered"
-            self._build_graph_lowered(autograph, optimize)
+            self._build_graph_lowered(autograph, optimize,
+                                      freeze_captures=freeze_captures)
 
     # -- construction ------------------------------------------------------
 
@@ -404,10 +408,11 @@ class LanternConcreteFunction(Executable):
             "output-arity discovery loop)"
         )
 
-    def _build_graph_lowered(self, autograph, optimize):
+    def _build_graph_lowered(self, autograph, optimize, freeze_captures=False):
         fn = self._python_function
         fg, placeholders, result = trace_func_graph(
-            fn, self._canonical, self.name, autograph=autograph)
+            fn, self._canonical, self.name, autograph=autograph,
+            freeze_captures=freeze_captures)
         if fg.get_collection("variables"):
             raise LanternLoweringError(
                 f"{self._fn_name!r} creates Variables; the Lantern backend "
@@ -793,10 +798,11 @@ class _LanternBackendBuilder(BackendBuilder):
         return lanternize_signature(canonical)
 
     def build(self, python_function, canonical, leaf_plan, name, *,
-              autograph, optimize):
+              autograph, optimize, freeze_captures=False):
         return LanternConcreteFunction(
             python_function, canonical, leaf_plan, name,
-            autograph=autograph, optimize=optimize)
+            autograph=autograph, optimize=optimize,
+            freeze_captures=freeze_captures)
 
 
 register_backend_builder(_LanternBackendBuilder())

@@ -1,0 +1,361 @@
+"""``ExecutionPlan``: the compiled form of one ``(graph, fetches, feeds)``.
+
+This is the execution engine's IR — lifted out of ``Session`` so that the
+session, traced ``ConcreteFunction``s, loaded serving artifacts and the
+micro-batcher all compile against one planner instead of re-deriving
+fetch/feed plumbing per layer.
+
+A plan is a pruned, topologically-ordered list of *steps* (kernel +
+pre-resolved value-slot locators), a slot table for feeds, and locators
+for the fetches.  Compilation also performs the plan-level optimizations
+that make the per-call path as close to "a loop over kernels" as Python
+allows (the Table-2 dispatch-overhead story):
+
+- **constant pre-evaluation** — stateless ops whose inputs are all
+  compile-time constants execute *once* at compile time; their values are
+  baked into the plan's base slot values and their steps disappear;
+- **dead-step elision** — only ops the fetches (or their control deps)
+  reach are compiled at all;
+- **output-buffer reuse** — a step whose kernel advertises an in-place
+  variant (``OpDef.inplace_kernel``) may write its result into the buffer
+  of a single-consumer intermediate input, provided that buffer is not a
+  feed (caller-owned), not a baked constant (shared across calls) and not
+  itself fetched (returned to the caller).
+
+Plans are executed either through :meth:`ExecutionPlan.execute` on a
+bound values list (the ``Session.run`` compatibility path) or through
+:class:`repro.runtime.engine.BoundPlan`'s positional fast path.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from ..framework.errors import ExecutionError, FetchError
+from ..framework.graph.graph import Operation, Tensor
+from ..framework.graph.optimize import has_opaque_attrs
+
+__all__ = ["ExecutionPlan", "compile_plan"]
+
+
+class ExecutionPlan:
+    """A pruned, topologically-ordered, slot-resolved execution plan.
+
+    Attributes:
+      steps: ``(slot, kernel, locators, single, op_name, inplace)``
+        tuples; ``inplace`` is ``None`` or a buffer-donation record
+        ``(donor_slot, donor_index, inplace_kernel, out_shape, out_dtype)``.
+      fetch_locators: ``(slot, output_index)`` per flat fetch (``(-1, 0)``
+        for ``None`` fetches).
+      feed_slots: ``(tensor, slot)`` per feed tensor, in feed order.
+      n_slots: total number of value slots (op slots + feed slots).
+      base_values: length-``n_slots`` template with pre-evaluated constant
+        slots filled; every execution starts from a shallow copy.
+      refs: strong references to the fetch/feed objects this plan was
+        compiled for.  Cache keys contain ``id()``s; holding the objects
+        guarantees CPython cannot recycle those ids into *different*
+        tensors while a cache entry is alive.
+    """
+
+    __slots__ = ("steps", "fetch_locators", "feed_slots", "n_slots",
+                 "base_values", "graph", "graph_version", "refs")
+
+    def __init__(self, steps, fetch_locators, feed_slots, n_slots,
+                 base_values, graph, graph_version, refs=()):
+        self.steps = steps
+        self.fetch_locators = fetch_locators
+        self.feed_slots = feed_slots
+        self.n_slots = n_slots
+        self.base_values = base_values
+        self.graph = graph
+        self.graph_version = graph_version
+        self.refs = refs
+
+    # -- execution ---------------------------------------------------------
+
+    def new_values(self):
+        """A fresh per-call slot array (constants already in place)."""
+        return list(self.base_values)
+
+    def execute(self, values):
+        """Run every step against ``values`` (feeds already bound)."""
+        for slot, kernel, locators, single, op_name, inplace in self.steps:
+            try:
+                args = [values[j][k] for j, k in locators]
+                if inplace is not None:
+                    dj, dk, ikernel, out_shape, out_dtype = inplace
+                    buf = values[dj][dk]
+                    # Static shapes/dtypes matched at compile time; this
+                    # cheap runtime guard protects against kernels whose
+                    # actual output metadata diverged from inference.
+                    if (type(buf) is np.ndarray and buf.shape == out_shape
+                            and buf.dtype == out_dtype):
+                        try:
+                            out = ikernel(*args, out=buf)
+                        except (TypeError, ValueError):
+                            # The ufunc refused the out= cast (static
+                            # dtype inference was optimistic); NumPy
+                            # rejects before writing, so fall back clean.
+                            out = kernel(*args)
+                    else:
+                        out = kernel(*args)
+                else:
+                    out = kernel(*args)
+            except ExecutionError:
+                raise
+            except Exception as e:
+                raise ExecutionError(
+                    f"Error executing op {op_name!r}: {e}", op_name=op_name
+                ) from e
+            values[slot] = (out,) if single else tuple(out)
+        return values
+
+    def fetch(self, values):
+        """The flat fetch results out of an executed ``values`` array."""
+        return [
+            values[j][k] if j >= 0 else None for j, k in self.fetch_locators
+        ]
+
+    def run_flat(self, values):
+        """Execute and fetch in one call."""
+        self.execute(values)
+        return self.fetch(values)
+
+    def __repr__(self):
+        return (f"<ExecutionPlan steps={len(self.steps)} "
+                f"feeds={len(self.feed_slots)} "
+                f"fetches={len(self.fetch_locators)} slots={self.n_slots}>")
+
+
+def _resolve_fetch_tensors(graph, flat_fetches):
+    """Map user-level fetches (tensors/ops/Variables/None) to tensors."""
+    fetch_tensors = []
+    for f in flat_fetches:
+        if isinstance(f, Tensor):
+            if f.graph is not graph:
+                raise FetchError(f"Fetch {f.name!r} is not in this session's graph")
+            fetch_tensors.append(f)
+        elif isinstance(f, Operation):
+            if f.graph is not graph:
+                raise FetchError(f"Fetch {f.name!r} is not in this session's graph")
+            fetch_tensors.append(f.outputs[0] if f.outputs else None)
+        elif f is None:
+            fetch_tensors.append(None)
+        else:
+            # Variables fetch their read value.
+            from ..framework.graph.variables import Variable
+
+            if isinstance(f, Variable):
+                fetch_tensors.append(f.value())
+            else:
+                raise FetchError(
+                    f"Cannot fetch object of type {type(f).__name__}: {f!r}"
+                )
+    return fetch_tensors
+
+
+def compile_plan(graph, flat_fetches, feed_tensors):
+    """Compile an :class:`ExecutionPlan` for ``graph``.
+
+    Args:
+      graph: the graph to execute.
+      flat_fetches: flat list of fetches — ``Tensor``/``Operation``/
+        ``Variable``/``None``.
+      feed_tensors: the placeholder (or intermediate) tensors whose
+        values the caller will supply per call, in slot-binding order.
+
+    Raises:
+      FetchError: on foreign-graph fetches/feeds, unfetchable objects, or
+        a required placeholder missing from ``feed_tensors``.
+    """
+    feed_tensors = list(feed_tensors)
+    fed_ids = {id(t) for t in feed_tensors}
+    for t in feed_tensors:
+        if not isinstance(t, Tensor) or t.graph is not graph:
+            raise FetchError(f"Feed key {t!r} is not a tensor of this graph")
+
+    fetch_tensors = _resolve_fetch_tensors(graph, flat_fetches)
+
+    # Reverse reachability from fetches, stopping at fed tensors.
+    needed = []
+    seen = set()
+    stack = [t.op for t in fetch_tensors if t is not None and id(t) not in fed_ids]
+    while stack:
+        op = stack.pop()
+        if id(op) in seen:
+            continue
+        seen.add(id(op))
+        needed.append(op)
+        for t in op.inputs:
+            if id(t) in fed_ids:
+                continue
+            if id(t.op) not in seen:
+                stack.append(t.op)
+        for c in op.control_inputs:
+            if id(c) not in seen:
+                stack.append(c)
+
+    # Topological order by creation index (graphs append in topo order;
+    # control inputs always reference earlier ops).
+    order = {id(op): i for i, op in enumerate(graph.ops)}
+    needed.sort(key=lambda op: order[id(op)])
+
+    slot_of = {id(op): i for i, op in enumerate(needed)}
+    n_slots = len(needed)
+    feed_slots = []
+    feed_slot_of = {}
+    for t in feed_tensors:
+        feed_slot_of[id(t)] = n_slots
+        feed_slots.append((t, n_slots))
+        n_slots += 1
+
+    def locator(tensor):
+        if id(tensor) in feed_slot_of:
+            return (feed_slot_of[id(tensor)], 0)
+        return (slot_of[id(tensor.op)], tensor.value_index)
+
+    # -- step emission with constant pre-evaluation ------------------------
+    base_values = [None] * n_slots
+    # Slots whose base value is baked (shared across calls; never donate).
+    const_slots = set()
+    steps = []
+    step_ops = []  # parallel to steps, for the buffer-reuse pass
+
+    for op in needed:
+        if op.type == "Placeholder":
+            if id(op.outputs[0]) not in feed_slot_of:
+                raise FetchError(
+                    f"Placeholder {op.name!r} is required by the fetches but "
+                    "was not fed"
+                )
+            continue
+        slot = slot_of[id(op)]
+        locators = tuple(locator(t) for t in op.inputs)
+        runtime_attrs = {
+            k: v for k, v in op.attrs.items() if not k.startswith("_")
+        }
+        kernel = op.op_def.kernel
+        if runtime_attrs:
+            kernel = functools.partial(kernel, **runtime_attrs)
+
+        # Constant pre-evaluation: a stateless op whose inputs are all
+        # already-baked constants runs once, now, and sheds its step.
+        # Ops carrying subgraph attrs (Cond/While) or control inputs are
+        # conservatively left live.
+        if (not op.op_def.stateful
+                and not op.control_inputs
+                and not has_opaque_attrs(op)
+                and all(j < len(needed) and j in const_slots
+                        for j, _ in locators)):
+            if op.type == "Const":
+                base_values[slot] = (_bake(op.attrs["value"]),)
+                const_slots.add(slot)
+                continue
+            if op.op_def.num_outputs == 1:
+                try:
+                    out = kernel(*[base_values[j][k] for j, k in locators])
+                except Exception:
+                    out = _DEFER  # kernel failed: surface the error at run time
+                if out is not _DEFER and isinstance(
+                        out, (np.ndarray, np.generic, int, float, bool)):
+                    base_values[slot] = (_bake(out),)
+                    const_slots.add(slot)
+                    continue
+
+        steps.append([slot, kernel, locators, op.op_def.num_outputs == 1,
+                      op.name, None])
+        step_ops.append(op)
+
+    fetch_locators = []
+    for t in fetch_tensors:
+        if t is None:
+            fetch_locators.append((-1, 0))
+        else:
+            fetch_locators.append(locator(t))
+
+    _assign_buffer_reuse(steps, step_ops, fetch_locators, const_slots,
+                         len(needed))
+
+    return ExecutionPlan(
+        tuple(tuple(s) for s in steps),
+        tuple(fetch_locators),
+        tuple(feed_slots),
+        n_slots,
+        base_values,
+        graph,
+        graph.version,
+    )
+
+
+_DEFER = object()
+
+
+def _bake(value):
+    """A private, read-only copy of a pre-evaluated constant.
+
+    Baked values are *shared by every execution* of the plan (and handed
+    to callers when fetched), so they must be immune to in-place
+    mutation: a caller doing ``out += 1`` on a fetched result must get a
+    loud ``read-only`` error, never silently corrupt later calls.  The
+    copy also decouples the plan from the graph's own ``Const`` attr
+    arrays.
+    """
+    arr = np.asarray(value).copy()
+    arr.setflags(write=False)
+    return arr
+
+
+def _assign_buffer_reuse(steps, step_ops, fetch_locators, const_slots,
+                         n_op_slots):
+    """Mark steps that may write their output into an input's buffer.
+
+    A donated buffer must be (1) produced by an executed step of this
+    plan whose kernel *allocates* its result (``OpDef.fresh_output``) —
+    never a feed (the caller owns that array), a baked constant (shared
+    across calls), or the output of an alias-returning kernel like
+    ``Identity`` or a variable read (writing into those would corrupt
+    caller arrays or live state); (2) consumed exactly once in the whole
+    plan; (3) not fetched (the caller receives it); and the kernel must
+    have an in-place variant with statically known, exactly matching
+    output shape/dtype.
+    """
+    donatable = set()
+    for s, op in zip(steps, step_ops):
+        if op.op_def.fresh_output:
+            for k in range(op.op_def.num_outputs):
+                donatable.add((s[0], k))
+
+    consumers = {}
+    for s in steps:
+        for loc in s[2]:
+            consumers[loc] = consumers.get(loc, 0) + 1
+    fetched = set(fetch_locators)
+
+    for s, op in zip(steps, step_ops):
+        ikernel = op.op_def.inplace_kernel
+        if ikernel is None or not s[3]:
+            continue
+        if any(not k.startswith("_") for k in op.attrs):
+            # Runtime attrs would need re-binding into the in-place
+            # variant; skip — none of the registered candidates carry any.
+            continue
+        out_t = op.outputs[0]
+        out_dtype = out_t.dtype.np_dtype
+        if out_dtype is None or not out_t.shape.is_fully_defined:
+            continue
+        out_shape = out_t.shape.as_tuple()
+        for t, loc in zip(op.inputs, s[2]):
+            if loc not in donatable or loc[0] in const_slots:
+                continue
+            if loc[0] >= n_op_slots:  # a feed slot
+                continue
+            if consumers.get(loc, 0) != 1 or loc in fetched:
+                continue
+            if t.dtype.np_dtype != out_dtype:
+                continue
+            if not t.shape.is_fully_defined or t.shape.as_tuple() != out_shape:
+                continue
+            s[5] = (loc[0], loc[1], ikernel, out_shape, np.dtype(out_dtype))
+            break

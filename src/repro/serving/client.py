@@ -11,7 +11,8 @@ import json
 import urllib.error
 import urllib.request
 
-__all__ = ["ServingError", "list_models", "predict", "swap_weights"]
+__all__ = ["ServingError", "list_models", "predict", "remove_version",
+           "swap_weights"]
 
 
 class ServingError(RuntimeError):
@@ -22,11 +23,12 @@ class ServingError(RuntimeError):
         self.status = status
 
 
-def _request(url, data=None, timeout=10.0):
+def _request(url, data=None, timeout=10.0, method=None):
     req = urllib.request.Request(
         url,
         data=None if data is None else json.dumps(data).encode("utf-8"),
         headers={"Content-Type": "application/json"},
+        method=method,
     )
     try:
         with urllib.request.urlopen(req, timeout=timeout) as resp:
@@ -70,4 +72,15 @@ def swap_weights(base_url, name, weights=None, version=None, timeout=10.0):
         f"{base_url}/v1/models/{name}:swap_weights",
         data=data,
         timeout=timeout,
+    )
+
+
+def remove_version(base_url, name, version, timeout=10.0):
+    """``DELETE /v1/models/<name>/versions/<version>``: unload an
+    inactive version (version GC).  Deleting the active version is a
+    409-``ServingError`` — activate another version first."""
+    return _request(
+        f"{base_url}/v1/models/{name}/versions/{version}",
+        timeout=timeout,
+        method="DELETE",
     )

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 
 import numpy as np
 
@@ -191,7 +192,14 @@ class LoadedExecutable(Executable):
 
 
 class _LoadedGraphExecutable(LoadedExecutable):
-    """A deserialized graph signature running on a private Session.
+    """A deserialized graph signature bound once to a runtime plan.
+
+    The rebuilt graph compiles into one
+    :class:`~repro.runtime.ExecutionPlan` at load time, with the
+    artifact's inputs (and trailing capture placeholders) bound to
+    positional slots — every ``call_flat`` is a slot-addressed
+    ``execute_flat``, the same fast path a live ``ConcreteFunction``
+    uses; no per-request feed dicts or plan-cache keys.
 
     Loaded from a non-frozen artifact, the trailing graph inputs are
     capture placeholders: their values live in ``_capture_state`` (a
@@ -206,7 +214,7 @@ class _LoadedGraphExecutable(LoadedExecutable):
                  capture_values=()):
         super().__init__(name, input_specs, output_template,
                          output_descriptor)
-        from ..framework.graph.session import Session
+        from ..runtime import BoundPlan, compile_plan
 
         self._graph = graph
         n_caps = len(captures)
@@ -216,7 +224,11 @@ class _LoadedGraphExecutable(LoadedExecutable):
         self._capture_state = tuple(
             np.asarray(v) for v in capture_values)
         self._outputs = outputs
-        self._session = Session(graph)
+        # Serializes swap read-modify-writes; readers (call_flat) just
+        # snapshot the tuple attribute and need no lock.
+        self._swap_lock = threading.Lock()
+        self._bound = BoundPlan(
+            compile_plan(graph, outputs, inputs), inputs)
 
     @property
     def captures(self):
@@ -227,33 +239,40 @@ class _LoadedGraphExecutable(LoadedExecutable):
         return dict(zip(self._capture_names, state))
 
     def set_capture_values(self, mapping):
-        """Atomically swap capture values (one tuple rebind, no retrace)."""
+        """Atomically swap capture values (one tuple rebind, no retrace).
+
+        The read-modify-write is serialized behind a lock so concurrent
+        swappers of *different* captures cannot silently drop each
+        other's update; in-flight calls keep whichever whole tuple they
+        snapshotted.
+        """
         index = {n: i for i, n in enumerate(self._capture_names)}
-        state = list(self._capture_state)
-        for name, value in mapping.items():
-            if name not in index:
-                raise KeyError(
-                    f"{self.name!r} has no capture named {name!r}; "
-                    f"captures: {sorted(index)}"
-                )
-            i = index[name]
-            value = np.asarray(value, dtype=self._capture_state[i].dtype)
-            ph = self._capture_inputs[i]
-            if not ph.shape.is_compatible_with(value.shape):
-                raise ValueError(
-                    f"Capture {name!r} expects shape {ph.shape}, "
-                    f"got {value.shape}"
-                )
-            state[i] = value
-        self._capture_state = tuple(state)
+        with self._swap_lock:
+            state = list(self._capture_state)
+            for name, value in mapping.items():
+                if name not in index:
+                    raise KeyError(
+                        f"{self.name!r} has no capture named {name!r}; "
+                        f"captures: {sorted(index)}"
+                    )
+                i = index[name]
+                value = np.asarray(value, dtype=state[i].dtype)
+                ph = self._capture_inputs[i]
+                if not ph.shape.is_compatible_with(value.shape):
+                    raise ValueError(
+                        f"Capture {name!r} expects shape {ph.shape}, "
+                        f"got {value.shape}"
+                    )
+                state[i] = value
+            self._capture_state = tuple(state)
 
     def call_flat(self, flat_args):
-        feed = dict(zip(self._inputs, self._cast_args(flat_args)))
+        args = self._cast_args(flat_args)
         if self._capture_inputs:
             # One snapshot per call: a concurrent swap lands wholly
             # before or wholly after this run.
-            feed.update(zip(self._capture_inputs, self._capture_state))
-        fetched = self._session.run(self._outputs, feed)
+            args = args + list(self._capture_state)
+        fetched = self._bound.execute_flat(args)
         tensor_outputs = tuple(EagerTensor(v) for v in fetched)
         return self._pack_outputs(tensor_outputs)
 
@@ -368,8 +387,9 @@ def load(path):
     """Rehydrate a :func:`save` artifact into an :class:`Executable`.
 
     No retracing happens: the graph route rebuilds the serialized graph
-    and compiles a fresh ``Session`` plan, the lantern route re-runs
-    code generation on the deserialized program.
+    and binds a fresh ``repro.runtime`` execution plan to positional
+    slots, the lantern route re-runs code generation on the deserialized
+    program.
     """
     spec_path = os.path.join(path, SPEC_FILE)
     try:

@@ -13,7 +13,11 @@ Routes (JSON in, JSON out):
   **zero retraces**: body ``{"weights": {<capture>: values}}`` replaces
   the active version's capture values in place, body
   ``{"version": <label>}`` atomically activates another registered
-  version, and both may be combined (swap then activate).
+  version, and both may be combined (swap then activate);
+- ``DELETE /v1/models/<name>/versions/<version>`` — version GC: unload
+  an *inactive* version (drains its batcher, drops its executable).
+  Deleting the active version is refused with 409 — activate another
+  version first.
 
 Each request is handled on its own thread (``ThreadingHTTPServer``);
 signatures registered with ``batch=True`` funnel through a per-version
@@ -52,7 +56,15 @@ from ..function.executable import resolve_executable
 from ..function.tensor_spec import TensorSpec
 from .batching import MicroBatcher, QueueFullError
 
-__all__ = ["ModelServer"]
+__all__ = ["ActiveVersionError", "ModelServer"]
+
+
+class ActiveVersionError(ValueError):
+    """Refusal to garbage-collect the version currently serving traffic.
+
+    Mapped to HTTP 409 (Conflict): activate another version first, then
+    delete this one.
+    """
 
 # Latency window: enough samples for a stable p99 without unbounded
 # growth under sustained traffic.
@@ -123,6 +135,19 @@ class _Endpoint:
         # One attribute rebind: requests snapshot the active version, so
         # the switch is atomic with respect to in-flight traffic.
         self.active = label
+
+    def remove_version(self, label):
+        if label not in self.versions:
+            raise KeyError(
+                f"{self.name!r} has no version {label!r}; registered: "
+                f"{sorted(self.versions)}"
+            )
+        if label == self.active:
+            raise ActiveVersionError(
+                f"Version {label!r} of {self.name!r} is the active "
+                "version; activate another version before removing it"
+            )
+        return self.versions.pop(label)
 
     def active_version(self):
         return self.versions[self.active]
@@ -276,6 +301,35 @@ class ModelServer:
             endpoint.activate(str(version))
         executable._mark_served(name)
         return executable
+
+    def remove_version(self, name, version):
+        """Unload (garbage-collect) an *inactive* version of ``name``.
+
+        The version's batcher is drained and its executable dropped from
+        the registry — the memory GC story for long-lived servers that
+        keep registering new versions.  The active version is refused
+        with :class:`ActiveVersionError` (HTTP 409 over the wire):
+        activate another version first, so traffic never loses its
+        target.  Requests that snapshotted the version before removal
+        finish on it; remove after traffic has drained off the version
+        for a clean cut.
+
+        Also exposed as ``DELETE /v1/models/<name>/versions/<version>``.
+        """
+        endpoint = self._endpoints.get(name)
+        if endpoint is None:
+            raise KeyError(f"No signature {name!r}")
+        with self._swap_lock:
+            removed = endpoint.remove_version(str(version))
+        # Outside the lock: close() joins the worker thread, which may be
+        # mid-batch; swaps/activations need not wait on that drain.
+        removed.close_batcher()
+        return {
+            "model": name,
+            "removed": removed.label,
+            "versions": sorted(endpoint.versions),
+            "active_version": endpoint.active,
+        }
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -475,6 +529,23 @@ def _make_handler(server):
                 self._reply(503, {"error": str(e)})
             except (ValueError, TypeError, FrameworkError) as e:
                 self._reply(400, {"error": str(e)})
+            except Exception as e:  # noqa: BLE001 - wire boundary
+                self._reply(500, {"error": f"{type(e).__name__}: {e}"})
+
+        def do_DELETE(self):  # noqa: N802 - http.server API
+            prefix = "/v1/models/"
+            marker = "/versions/"
+            if not (self.path.startswith(prefix) and marker in self.path):
+                self._reply(404, {"error": f"No route {self.path!r}"})
+                return
+            name, _, label = self.path[len(prefix):].partition(marker)
+            try:
+                self._reply(200, server.remove_version(name, label))
+            except ActiveVersionError as e:
+                self._reply(409, {"error": str(e)})
+            except KeyError as e:
+                self._reply(404, {"error": str(e.args[0]) if e.args
+                                  else f"No signature {name!r}"})
             except Exception as e:  # noqa: BLE001 - wire boundary
                 self._reply(500, {"error": f"{type(e).__name__}: {e}"})
 
