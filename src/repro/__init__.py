@@ -21,6 +21,10 @@ Packages:
     buffer reuse) behind both ``Session.run`` and the slot-addressed
     positional fast path that function calls and serving dispatch
     through.
+  - :mod:`repro.blocks` -- block-partitioned tensors: ``BlockArray``
+    grids dispatched kernel-per-block (eagerly or lowered into
+    level-parallel execution plans) with deterministic pairwise-tree
+    accumulation, plus data-parallel sharded training.
 """
 
 __version__ = "0.1.0"
@@ -47,6 +51,7 @@ __all__ = [
     "serving",
     "saved_function",
     "runtime",
+    "blocks",
 ]
 
 
@@ -62,4 +67,6 @@ def __getattr__(name):
         return importlib.import_module(".serving", __name__)
     if name == "saved_function":
         return importlib.import_module(".serving.saved_function", __name__)
+    if name == "blocks":
+        return importlib.import_module(".blocks", __name__)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

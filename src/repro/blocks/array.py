@@ -1,0 +1,252 @@
+"""``BlockArray``: a dense tensor stored as a grid of NumPy blocks.
+
+The array is just ``(BlockGrid, row-major tuple of ndarrays)``; every
+operation on it goes through :mod:`repro.blocks.ops`, which dispatches
+each block through the same :mod:`repro.framework.registry` kernels the
+eager executor and the compiled plans use — block-partitioned execution
+is a *layout*, not a second math library.
+
+Blocks are stored row-major in grid-entry order
+(:meth:`BlockGrid.entries`); ``block_list`` exposes exactly that order,
+which is also the placeholder feed order of blocked execution plans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .grid import BlockGrid
+
+__all__ = ["BlockArray"]
+
+
+class BlockArray:
+    """A dense tensor partitioned into a block grid."""
+
+    __slots__ = ("_grid", "_blocks")
+
+    def __init__(self, grid, blocks):
+        if not isinstance(grid, BlockGrid):
+            raise TypeError(f"grid must be a BlockGrid, got {type(grid).__name__}")
+        blocks = tuple(np.asarray(b) for b in blocks)
+        if len(blocks) != grid.num_blocks:
+            raise ValueError(
+                f"grid has {grid.num_blocks} blocks, got {len(blocks)} arrays"
+            )
+        for entry, b in zip(grid.entries(), blocks):
+            want = grid.block_shape(entry)
+            if b.shape != want:
+                raise ValueError(
+                    f"block {entry} has shape {b.shape}, grid expects {want}"
+                )
+        if blocks:
+            dt = blocks[0].dtype
+            for b in blocks[1:]:
+                if b.dtype != dt:
+                    raise ValueError(
+                        f"blocks mix dtypes {dt} and {b.dtype}"
+                    )
+        self._grid = grid
+        self._blocks = blocks
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, value, block_shape=None, grid=None):
+        """Partition a dense array.
+
+        Exactly one of ``block_shape`` (ceil-partitioned via
+        :meth:`BlockGrid.regular`) or ``grid`` must be given.
+        """
+        arr = np.asarray(value)
+        if (block_shape is None) == (grid is None):
+            raise ValueError("pass exactly one of block_shape or grid")
+        if grid is None:
+            grid = BlockGrid.regular(arr.shape, block_shape)
+        elif grid.shape != arr.shape:
+            raise ValueError(
+                f"grid shape {grid.shape} does not match array shape "
+                f"{arr.shape}"
+            )
+        blocks = tuple(
+            np.ascontiguousarray(arr[grid.block_slices(entry)])
+            for entry in grid.entries()
+        )
+        return cls(grid, blocks)
+
+    @classmethod
+    def from_blocks(cls, grid, blocks):
+        """Wrap already-partitioned blocks (row-major entry order)."""
+        return cls(grid, blocks)
+
+    # -- metadata --------------------------------------------------------------
+
+    @property
+    def grid(self):
+        return self._grid
+
+    @property
+    def shape(self):
+        return self._grid.shape
+
+    @property
+    def ndim(self):
+        return self._grid.ndim
+
+    @property
+    def dtype(self):
+        return self._blocks[0].dtype if self._blocks else np.dtype(np.float32)
+
+    @property
+    def num_blocks(self):
+        return self._grid.num_blocks
+
+    # -- block access ----------------------------------------------------------
+
+    def block(self, entry):
+        """The ndarray at grid ``entry``."""
+        return self._blocks[self._grid.entry_index(tuple(entry))]
+
+    def block_list(self):
+        """All blocks, row-major (the canonical flattening order)."""
+        return list(self._blocks)
+
+    def to_dense(self):
+        """Assemble the dense ndarray."""
+        grid = self._grid
+        out = np.empty(grid.shape, dtype=self.dtype)
+        for entry, b in zip(grid.entries(), self._blocks):
+            out[grid.block_slices(entry)] = b
+        return out
+
+    # NumPy-protocol interop: dense on demand.
+    numpy = to_dense
+
+    def __array__(self, dtype=None):
+        dense = self.to_dense()
+        return dense if dtype is None else dense.astype(dtype)
+
+    # -- re-gridding -----------------------------------------------------------
+
+    def regrid(self, grid=None, block_shape=None):
+        """The same values under a different partitioning.
+
+        Currently assembles dense and re-partitions — correct for any
+        grid pair; a zero-copy block-overlap path is a follow-up.
+        """
+        if (block_shape is None) == (grid is None):
+            raise ValueError("pass exactly one of block_shape or grid")
+        if grid is None:
+            grid = BlockGrid.regular(self.shape, block_shape)
+        if grid == self._grid:
+            return self
+        return BlockArray.from_dense(self.to_dense(), grid=grid)
+
+    def reshape(self, new_shape, block_shape=None):
+        """Reshape (dense round-trip), optionally re-partitioned."""
+        dense = self.to_dense().reshape(tuple(int(d) for d in new_shape))
+        if block_shape is None:
+            block_shape = dense.shape
+        return BlockArray.from_dense(dense, block_shape=block_shape)
+
+    def __getitem__(self, index):
+        """Basic indexing (ints, step-1 slices): trims blocks, no copies
+        across block boundaries — slicing *re-grids*."""
+        if not isinstance(index, tuple):
+            index = (index,)
+        plan = self._grid.slice_plan(index)
+        kept_dims = [d for d, p in enumerate(plan) if p[0] == "slice"]
+        new_splits = tuple(
+            tuple(hi - lo for _, lo, hi in plan[d][1]) for d in kept_dims
+        )
+        new_shape = tuple(sum(dim) for dim in new_splits)
+        if not kept_dims:
+            # All dimensions integer-indexed: a scalar.
+            ix = tuple(p[2] for p in plan)
+            entry = tuple(p[1] for p in plan)
+            return self.block(entry)[ix]
+        new_grid = BlockGrid(new_shape, new_splits)
+        blocks = []
+        for entry in new_grid.entries():
+            src_entry = []
+            src_index = []
+            it = iter(entry)
+            for p in plan:
+                if p[0] == "idx":
+                    src_entry.append(p[1])
+                    src_index.append(p[2])
+                else:
+                    src, lo, hi = p[1][next(it)]
+                    src_entry.append(src)
+                    src_index.append(slice(lo, hi))
+            blocks.append(self.block(tuple(src_entry))[tuple(src_index)])
+        return BlockArray(new_grid, blocks)
+
+    # -- arithmetic (dispatches through repro.blocks.ops) ----------------------
+
+    def _ops(self):
+        from . import ops
+
+        return ops
+
+    def __add__(self, other):
+        return self._ops().add(self, other)
+
+    def __radd__(self, other):
+        return self._ops().add(other, self)
+
+    def __sub__(self, other):
+        return self._ops().subtract(self, other)
+
+    def __rsub__(self, other):
+        return self._ops().subtract(other, self)
+
+    def __mul__(self, other):
+        return self._ops().multiply(self, other)
+
+    def __rmul__(self, other):
+        return self._ops().multiply(other, self)
+
+    def __truediv__(self, other):
+        return self._ops().divide(self, other)
+
+    def __rtruediv__(self, other):
+        return self._ops().divide(other, self)
+
+    def __pow__(self, other):
+        return self._ops().power(self, other)
+
+    def __matmul__(self, other):
+        return self._ops().matmul(self, other)
+
+    def __rmatmul__(self, other):
+        return self._ops().matmul(other, self)
+
+    def __neg__(self):
+        return self._ops().negative(self)
+
+    def __abs__(self):
+        return self._ops().abs(self)
+
+    def sum(self, axis=None, keepdims=False):
+        return self._ops().reduce_sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims=False):
+        return self._ops().reduce_mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims=False):
+        return self._ops().reduce_max(self, axis=axis, keepdims=keepdims)
+
+    def min(self, axis=None, keepdims=False):
+        return self._ops().reduce_min(self, axis=axis, keepdims=keepdims)
+
+    def transpose(self, perm=None):
+        return self._ops().transpose(self, perm=perm)
+
+    @property
+    def T(self):
+        return self.transpose()
+
+    def __repr__(self):
+        return (f"<BlockArray shape={self.shape} grid={self._grid.grid_shape} "
+                f"dtype={self.dtype}>")

@@ -1,0 +1,152 @@
+"""Data-parallel training over block shards of the batch dimension.
+
+:class:`DataParallelTrainer` is the training-side consumer of the blocks
+subsystem: it cuts each batch along axis 0 (a :class:`BlockArray`'s row
+splits, or an even partition for dense inputs), runs the loss/gradient
+computation per shard, and **all-reduces** the per-shard gradients with
+the same fixed pairwise tree every other blocked accumulation uses —
+so the combined gradient does not depend on shard count scheduling.
+
+Per-shard gradients run *serially* on the calling thread: eager dispatch
+and the tape are Python-bound, so threading them buys nothing — the
+parallelism of this subsystem lives in the per-block kernels of blocked
+plans.  The all-reduce itself fans out on an optional scheduler (one
+task per variable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..framework.eager.tape import GradientTape
+from .array import BlockArray
+from .ops import pair_tree
+from .scheduler import BlockScheduler
+
+__all__ = ["DataParallelTrainer"]
+
+
+def _shard_offsets(batch, num_shards):
+    """The axis-0 cut points: a BlockArray's row splits when one is
+    present (all blocked inputs must agree), else an even partition."""
+    splits = None
+    size = None
+    for b in batch:
+        if isinstance(b, BlockArray):
+            row = b.grid.splits[0]
+            if splits is not None and row != splits:
+                raise ValueError(
+                    f"blocked batch inputs disagree on row splits: "
+                    f"{splits} vs {row}"
+                )
+            splits = row
+        else:
+            arr = np.asarray(b)
+            if arr.ndim == 0:
+                raise ValueError("batch inputs must have a leading axis")
+            size = arr.shape[0] if size is None else size
+    if splits is None:
+        if size is None:
+            raise ValueError("cannot shard an empty batch")
+        num_shards = min(num_shards, size)
+        base, rem = divmod(size, num_shards)
+        splits = tuple(
+            base + (1 if i < rem else 0) for i in range(num_shards)
+        )
+    offsets = [0]
+    for s in splits:
+        offsets.append(offsets[-1] + s)
+    return tuple(splits), tuple(offsets)
+
+
+def _shard_input(value, shard_index, offsets):
+    if isinstance(value, BlockArray):
+        # Row splits match the shard plan; one shard = one row of blocks,
+        # reassembled dense for the eager loss function.
+        rows = value.grid.grid_shape[0]
+        if rows == len(offsets) - 1:
+            return value[offsets[shard_index]:offsets[shard_index + 1]] \
+                .to_dense()
+        return value.to_dense()[
+            offsets[shard_index]:offsets[shard_index + 1]]
+    return np.asarray(value)[
+        offsets[shard_index]:offsets[shard_index + 1]]
+
+
+class DataParallelTrainer:
+    """Sharded-batch training with tree all-reduced gradients.
+
+    Args:
+      loss_fn: ``loss_fn(*shard_inputs) -> scalar loss`` — the *mean*
+        loss over its shard (the all-reduce re-weights by shard size, so
+        uneven shards still produce the exact full-batch gradient).
+      variables: the trainable :class:`Variable`s to differentiate.
+      num_shards: shard count for dense batches (ignored when a
+        ``BlockArray`` input supplies row splits); default 2.
+      optimizer: optional object with ``apply_gradients(grads_and_vars)``
+        called with the combined gradients after every step.
+      scheduler: optional :class:`BlockScheduler` fanning the per-variable
+        all-reduce out.
+    """
+
+    def __init__(self, loss_fn, variables, *, num_shards=None,
+                 optimizer=None, scheduler=None):
+        self._loss_fn = loss_fn
+        self._variables = list(variables)
+        self._num_shards = int(num_shards) if num_shards else 2
+        if self._num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self._optimizer = optimizer
+        self._scheduler = scheduler if scheduler is not None \
+            else BlockScheduler(num_workers=1)
+
+    @property
+    def variables(self):
+        return list(self._variables)
+
+    def step(self, *batch):
+        """One sharded step: per-shard gradients, tree all-reduce,
+        optional optimizer update.
+
+        Returns:
+          ``(loss, grads)`` — the batch-weighted mean loss (ndarray) and
+          the combined per-variable gradients (ndarrays, ``None`` where
+          no shard produced one).
+        """
+        splits, offsets = _shard_offsets(batch, self._num_shards)
+        total = offsets[-1]
+        shard_grads = []   # [shard][var] ndarray | None
+        shard_losses = []
+        for s in range(len(splits)):
+            inputs = [_shard_input(b, s, offsets) for b in batch]
+            with GradientTape() as tape:
+                for v in self._variables:
+                    tape.watch(v)
+                loss = self._loss_fn(*inputs)
+            grads = tape.gradient(loss, self._variables)
+            shard_losses.append(np.asarray(loss))
+            shard_grads.append([
+                None if g is None else g.numpy() for g in grads
+            ])
+
+        weights = [n / total for n in splits]
+        loss = pair_tree(
+            [w * l for w, l in zip(weights, shard_losses)], np.add)
+
+        def combine_var(i):
+            parts = [
+                # Weighted copies owned by this step — the tree
+                # accumulates into its left operand.
+                np.multiply(shard_grads[s][i], weights[s])
+                for s in range(len(splits))
+                if shard_grads[s][i] is not None
+            ]
+            if not parts:
+                return None
+            return pair_tree(parts, lambda x, y: np.add(x, y, out=x))
+
+        grads = self._scheduler.map(
+            combine_var, list(range(len(self._variables))))
+        if self._optimizer is not None:
+            self._optimizer.apply_gradients(zip(grads, self._variables))
+        return loss, grads

@@ -1,0 +1,84 @@
+"""``BlockSpec``: the signature-cache atom for block-partitioned feeds.
+
+A :class:`BlockSpec` is a :class:`~repro.function.tensor_spec.TensorSpec`
+that additionally pins a :class:`~repro.blocks.grid.BlockGrid`.  Two
+calls hit the same concrete function only when their ``BlockArray``
+arguments share dtype *and* grid — the compiled blocked plan has one
+placeholder per block, so a different partitioning really is a different
+executable.
+
+Because the grid fixes every dimension, block specs never shape-relax:
+``most_general()`` is the identity.
+"""
+
+from __future__ import annotations
+
+from ..framework import dtypes
+from ..framework.shapes import TensorShape
+from ..function.tensor_spec import TensorSpec
+from .array import BlockArray
+from .grid import BlockGrid
+
+__all__ = ["BlockSpec"]
+
+
+class BlockSpec(TensorSpec):
+    """A (grid, dtype) description of a block-partitioned argument."""
+
+    __slots__ = ("_grid",)
+
+    def __init__(self, grid, dtype=dtypes.float32, name=None):
+        if not isinstance(grid, BlockGrid):
+            raise TypeError(
+                f"BlockSpec needs a BlockGrid, got {type(grid).__name__}"
+            )
+        super().__init__(TensorShape(grid.shape), dtype, name=name)
+        self._grid = grid
+
+    @property
+    def grid(self):
+        return self._grid
+
+    @classmethod
+    def from_value(cls, value, name=None):
+        if isinstance(value, BlockSpec):
+            return cls(value.grid, value.dtype, name=name or value.name)
+        if isinstance(value, BlockArray):
+            return cls(value.grid, dtypes.from_numpy(value.dtype), name=name)
+        raise TypeError(
+            f"BlockSpec.from_value expects a BlockArray, got "
+            f"{type(value).__name__}"
+        )
+
+    def most_general(self):
+        """Block grids pin every dimension; nothing to relax."""
+        return self
+
+    def is_compatible_with(self, value):
+        if isinstance(value, BlockArray) or isinstance(value, BlockSpec):
+            other = BlockSpec.from_value(value)
+        else:
+            return False
+        return self.dtype == other.dtype and self._grid == other._grid
+
+    def __eq__(self, other):
+        if not isinstance(other, BlockSpec):
+            # Never equal to a plain TensorSpec: a blocked feed compiles
+            # to a different executable than a dense feed of the same
+            # shape.  (Python tries this reflected __eq__ first because
+            # BlockSpec subclasses TensorSpec, so returning False — not
+            # NotImplemented — also blocks TensorSpec.__eq__'s
+            # shape-only answer.)
+            return False if isinstance(other, TensorSpec) else NotImplemented
+        return self.dtype == other.dtype and self._grid == other._grid
+
+    def __ne__(self, other):
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __hash__(self):
+        return hash((self.dtype, self._grid))
+
+    def __repr__(self):
+        return (f"BlockSpec(shape={self.shape}, "
+                f"grid={self._grid.grid_shape}, dtype={self.dtype.name})")

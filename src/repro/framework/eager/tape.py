@@ -13,6 +13,8 @@ staged backends avoid.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..errors import FrameworkError
@@ -21,7 +23,51 @@ from .tensor import EagerTensor
 
 __all__ = ["GradientTape", "record_operation"]
 
-_TAPE_STACK = []
+
+class _ThreadLocalTapeStack:
+    """The active-tape stack, kept per thread.
+
+    A tape records through whichever thread executes the ops; two
+    threads each running their own ``with GradientTape()`` block (e.g.
+    per-shard gradients in :mod:`repro.blocks.data_parallel`, or
+    concurrent server handlers) must not see — or record onto — each
+    other's tapes.  The list-like surface matches how the single global
+    list was used everywhere (truthiness, iteration, indexing).
+    """
+
+    def __init__(self):
+        self._local = threading.local()
+
+    @property
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def append(self, tape):
+        self._stack.append(tape)
+
+    def pop(self):
+        return self._stack.pop()
+
+    def remove(self, tape):
+        self._stack.remove(tape)
+
+    def __bool__(self):
+        return bool(self._stack)
+
+    def __len__(self):
+        return len(self._stack)
+
+    def __iter__(self):
+        return iter(self._stack)
+
+    def __getitem__(self, index):
+        return self._stack[index]
+
+
+_TAPE_STACK = _ThreadLocalTapeStack()
 
 
 def record_operation(op_def, inputs, outputs, attrs):

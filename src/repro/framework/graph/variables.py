@@ -107,6 +107,10 @@ class Variable(TensorOpsMixin):
         self._graph_reads = {}
         self._graph_initializers = {}
         self._eager_value_cache = None
+        # Per-graph record of the first staged assign op, plus which
+        # graphs we already warned about reading after it (see value()).
+        self._graph_assigns = {}
+        self._warned_read_after_assign = set()
 
         if context.executing_eagerly():
             self._state.write(init)
@@ -184,9 +188,40 @@ class Variable(TensorOpsMixin):
             # Let graph consumers (e.g. the repro.function tracing JIT)
             # discover which variables a trace reads, and where.
             g.add_to_collection("variable_reads", (self, cached))
+        self._warn_read_after_assign(g, cached)
         return cached
 
     read_value = value
+
+    def _warn_read_after_assign(self, g, read_tensor):
+        """Loud trace-time diagnostic for the capture-read wart.
+
+        In a top-level trace graph a variable read is an *external
+        capture* — a runtime input resolved before the call runs.  A
+        read staged *after* an in-trace assign therefore yields the
+        variable's pre-call snapshot, not the assigned value; warn once
+        per (variable, graph), naming both ops.
+        """
+        assign_name = self._graph_assigns.get(id(g))
+        if (assign_name is None
+                or id(g) in self._warned_read_after_assign
+                or not getattr(g, "capture_external", False)
+                or read_tensor.op.type != "Placeholder"):
+            return
+        self._warned_read_after_assign.add(id(g))
+        import warnings
+
+        warnings.warn(
+            f"Variable {self._name!r} is read after the in-trace "
+            f"assignment {assign_name!r}, but the read is the external "
+            f"capture {read_tensor.op.name!r} — a runtime input resolved "
+            "*before* the call runs — so it yields the variable's "
+            "pre-call snapshot, not the value written by "
+            f"{assign_name!r}. Read the variable before assigning, or "
+            "use the assign op's returned tensor instead.",
+            UserWarning,
+            stacklevel=3,
+        )
 
     # Allow variables to appear directly as op inputs: the dispatch layer
     # calls this to obtain a tensor.
@@ -203,6 +238,10 @@ class Variable(TensorOpsMixin):
         from ..ops import dispatch
 
         result = dispatch.run_op(op_name, [delta], {})
+        if context.has_default_graph():
+            g = context.get_default_graph()
+            staged = getattr(getattr(result, "op", None), "name", op_name)
+            self._graph_assigns.setdefault(id(g), staged)
         self._eager_value_cache = None
         return result
 

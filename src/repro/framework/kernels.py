@@ -186,6 +186,20 @@ def _matmul_kernel(a, b, transpose_a=False, transpose_b=False):
     return np.matmul(a, b)
 
 
+def _matmul_out(a, b, out, transpose_a=False, transpose_b=False):
+    # BLAS writes directly into ``out``; unlike the elementwise ufunc
+    # variants this is only correct when ``out`` does not alias either
+    # operand — hence inplace_no_alias below: the planner donates only
+    # buffers that are fully dead before this step runs.
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if transpose_a:
+        a = np.swapaxes(a, -1, -2)
+    if transpose_b:
+        b = np.swapaxes(b, -1, -2)
+    return np.matmul(a, b, out=out)
+
+
 def _matmul_shape_fn(input_shapes, attrs):
     sa, sb = input_shapes
     if sa.dims is None or sb.dims is None or sa.rank != 2 or sb.rank != 2:
@@ -196,6 +210,7 @@ def _matmul_shape_fn(input_shapes, attrs):
 
 
 register_op("MatMul", _matmul_kernel, shape_fn=_matmul_shape_fn, dtype_fn=_promote_dtype_fn,
+            inplace_kernel=_matmul_out, inplace_no_alias=True,
             fresh_output=True)
 
 

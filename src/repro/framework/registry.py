@@ -37,10 +37,14 @@ class OpDef:
         stateful ops are never deduplicated or constant-folded.
       inplace_kernel: optional ``fn(*input_values, out=buffer)`` variant
         writing the result into ``out`` (same shape/dtype as the result).
-        The runtime planner uses it to reuse a single-consumer
-        intermediate's buffer instead of allocating; only elementwise
-        kernels whose NumPy implementation supports ``out=`` (and
-        tolerates output aliasing an input) should register one.
+        The runtime planner uses it to reuse an intermediate's buffer
+        instead of allocating.  Elementwise ufunc kernels tolerate
+        ``out`` aliasing an input and may be donated a dying input's
+        buffer; kernels that do NOT tolerate aliasing (BLAS-backed
+        ``MatMul``) must also set ``inplace_no_alias`` so the planner
+        only donates buffers that are fully dead before the step runs.
+      inplace_no_alias: True when ``inplace_kernel`` requires ``out`` to
+        be disjoint from every input (e.g. ``np.matmul(..., out=)``).
       fresh_output: True when the kernel always *allocates* its result —
         the returned array never aliases an input, a variable's storage,
         or any other external buffer.  Only fresh outputs are eligible
@@ -58,12 +62,13 @@ class OpDef:
         "dtype_fn",
         "stateful",
         "inplace_kernel",
+        "inplace_no_alias",
         "fresh_output",
     )
 
     def __init__(self, name, kernel, *, num_outputs=1, grad_fn=None, shape_fn=None,
                  dtype_fn=None, stateful=False, inplace_kernel=None,
-                 fresh_output=False):
+                 inplace_no_alias=False, fresh_output=False):
         self.name = name
         self.kernel = kernel
         self.num_outputs = num_outputs
@@ -72,6 +77,7 @@ class OpDef:
         self.dtype_fn = dtype_fn
         self.stateful = stateful
         self.inplace_kernel = inplace_kernel
+        self.inplace_no_alias = inplace_no_alias
         self.fresh_output = fresh_output
 
     def __repr__(self):

@@ -168,13 +168,15 @@ class ConcreteFunction(Executable):
     backend = "graph"
 
     def __init__(self, python_function, canonical, name,
-                 autograph=True, optimize=True, freeze_captures=False):
+                 autograph=True, optimize=True, freeze_captures=False,
+                 num_workers=None):
         self._python_function = python_function
         self._canonical = canonical
         self._py_signature = signature_lib.signature_of(python_function)
         self.name = name
         self._optimize = optimize
         self._freeze_captures = freeze_captures
+        self._num_workers = num_workers
         self._backward = None
 
         # -- 1. trace -------------------------------------------------------
@@ -241,15 +243,54 @@ class ConcreteFunction(Executable):
         # nest.flatten (the Table-2 dispatch overhead, engineered out).
         self._runtime_feeds = self._feeds + self._capture_feeds
         self._bind_lock = threading.Lock()
-        self._bound = BoundPlan(
-            compile_plan(opt_graph, self._run_fetches, self._runtime_feeds),
-            self._runtime_feeds)
+        # Block-partitioned feeds: the trace stages dense ops against a
+        # dense placeholder, then the whole optimized graph is lowered
+        # to per-block steps and compiled with one placeholder per block.
+        self._block_grids = self._collect_block_grids()
+        self._blocked = bool(self._block_grids)
+        self._scheduler = self._make_scheduler(num_workers)
+        if self._blocked:
+            from ..blocks.lowering import lower_blocked_graph
+
+            lowered = lower_blocked_graph(
+                opt_graph, self._runtime_feeds, self._run_fetches,
+                self._block_grids)
+            self._lowered_feeds = list(lowered.feeds)
+            self._bound = BoundPlan(
+                compile_plan(lowered.graph, list(lowered.fetches),
+                             self._lowered_feeds),
+                self._lowered_feeds, self._scheduler)
+        else:
+            self._bound = BoundPlan(
+                compile_plan(opt_graph, self._run_fetches,
+                             self._runtime_feeds),
+                self._runtime_feeds, self._scheduler)
         self._n_outputs = len(self._output_fetches)
         # When the optimizer produced a fresh graph, nothing ever appends
         # to it again (the backward pass optimizes into its own graph) —
         # the per-call version check is only needed when executing the
-        # trace graph directly (optimize=False).
-        self._graph_may_grow = opt_graph is fg
+        # trace graph directly (optimize=False).  Blocked plans compile
+        # from their own lowered graph, which never grows.
+        self._graph_may_grow = opt_graph is fg and not self._blocked
+
+    def _collect_block_grids(self):
+        """``{id(feed tensor): BlockGrid}`` for block-partitioned specs."""
+        grids = {}
+        for feed, spec in zip(self._feeds, self._canonical.specs):
+            grid = getattr(spec, "grid", None)
+            if grid is not None:
+                grids[id(feed)] = grid
+        return grids
+
+    def _make_scheduler(self, num_workers):
+        """The step scheduler: blocked functions default to one worker
+        per core; dense functions stay serial unless asked."""
+        if num_workers is None and not self._blocked:
+            return None
+        from ..blocks.scheduler import BlockScheduler
+
+        scheduler = BlockScheduler(num_workers=num_workers)
+        return scheduler if scheduler.parallel else None
 
     # -- introspection -------------------------------------------------------
 
@@ -436,6 +477,13 @@ class ConcreteFunction(Executable):
 
     def _call_canonical(self, canonical):
         tape_active = bool(tape_module._TAPE_STACK)
+        if tape_active and self._blocked:
+            raise StagingError(
+                f"Concrete function {self.name!r} has block-partitioned "
+                "inputs; GradientTape cannot record through a blocked "
+                "plan — compute per-shard gradients with "
+                "repro.blocks.DataParallelTrainer instead"
+            )
         # Capture the variables' eager values *before* running: the call
         # may assign them, and the tape watches the pre-call reads.
         var_inputs = (
@@ -485,16 +533,43 @@ class ConcreteFunction(Executable):
                     bound = BoundPlan(
                         compile_plan(self.optimized_graph, self._run_fetches,
                                      self._runtime_feeds),
-                        self._runtime_feeds)
+                        self._runtime_feeds, self._scheduler)
                     self._bound = bound
         return bound
+
+    def _expand_block_args(self, tensor_values):
+        """Flatten ``BlockArray`` arguments into their per-block feeds
+        (row-major), validating each against its traced grid."""
+        from ..blocks.array import BlockArray
+
+        args = []
+        for spec, value in zip(self._canonical.specs, tensor_values):
+            grid = getattr(spec, "grid", None)
+            if grid is None:
+                args.append(value)
+                continue
+            if not isinstance(value, BlockArray):
+                raise StagingError(
+                    f"Concrete function {self.name!r} expects a BlockArray "
+                    f"for {spec!r}, got {type(value).__name__}"
+                )
+            if value.grid != grid:
+                raise StagingError(
+                    f"BlockArray grid {value.grid!r} does not match the "
+                    f"traced {grid!r}; regrid the argument or retrace"
+                )
+            args.extend(value.block_list())
+        return args
 
     def _run(self, tensor_values, capture_values):
         # One atomic snapshot of the capture values per call: swaps
         # rebind arrays (never write into them), so a concurrent
         # hot-swap lands either wholly before or wholly after this
         # run, never half-way.
-        args = list(tensor_values)
+        if self._blocked:
+            args = self._expand_block_args(tensor_values)
+        else:
+            args = list(tensor_values)
         if capture_values:
             args.extend(capture_values)
         fetched = self._current_bound().execute_flat(args)
@@ -580,7 +655,7 @@ ConcreteFunction.call_flat.__ag_do_not_convert__ = True
 
 def trace_concrete_function(python_function, canonical, name,
                             autograph=True, optimize=True,
-                            freeze_captures=False):
+                            freeze_captures=False, num_workers=None):
     """Trace ``python_function`` for one canonical signature."""
     if context.has_default_graph():
         raise StagingError(
@@ -589,7 +664,7 @@ def trace_concrete_function(python_function, canonical, name,
     return ConcreteFunction(
         python_function, canonical, name,
         autograph=autograph, optimize=optimize,
-        freeze_captures=freeze_captures)
+        freeze_captures=freeze_captures, num_workers=num_workers)
 
 
 class _GraphBackendBuilder(BackendBuilder):
@@ -599,11 +674,11 @@ class _GraphBackendBuilder(BackendBuilder):
     supports_relaxation = True
 
     def build(self, python_function, canonical, context_, name, *,
-              autograph, optimize, freeze_captures=False):
+              autograph, optimize, freeze_captures=False, num_workers=None):
         return trace_concrete_function(
             python_function, canonical, name,
             autograph=autograph, optimize=optimize,
-            freeze_captures=freeze_captures)
+            freeze_captures=freeze_captures, num_workers=num_workers)
 
 
 register_backend_builder(_GraphBackendBuilder())

@@ -271,12 +271,15 @@ class BackendBuilder:
         return canonical, None
 
     def build(self, python_function, canonical, context, name, *,
-              autograph, optimize, freeze_captures=False):
+              autograph, optimize, freeze_captures=False, num_workers=None):
         """Compile one executable for the prepared signature.
 
         ``freeze_captures`` asks the backend to bake closed-over state
         into the trace as constants (no runtime-input captures); a
-        backend without that notion may ignore it.
+        backend without that notion may ignore it.  ``num_workers``
+        sizes the per-step scheduler of backends that execute plans
+        level-parallel (the graph backend's blocked route); others may
+        ignore it.
         """
         raise NotImplementedError
 

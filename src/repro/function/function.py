@@ -38,7 +38,7 @@ class Function:
 
     def __init__(self, python_function, name=None, autograph=True,
                  optimize=True, reduce_retracing=False, retrace_limit=8,
-                 backend="graph", freeze_captures=False):
+                 backend="graph", freeze_captures=False, num_workers=None):
         original = getattr(python_function, "__ag_original__", None)
         if original is not None:
             python_function = original
@@ -60,6 +60,7 @@ class Function:
         self._retrace_limit = retrace_limit
         self._backend = backend
         self._freeze_captures = freeze_captures
+        self._num_workers = num_workers
         # Lazily computed static-recursion verdict (auto dispatch).
         self._recursive = None
         # (concrete-function name, backend, reason) per trace, newest last.
@@ -179,6 +180,7 @@ class Function:
                 f"{self._name}_{len(self._cache)}",
                 autograph=self._autograph, optimize=self._optimize,
                 freeze_captures=self._freeze_captures,
+                num_workers=self._num_workers,
             )
             self._cache[canonical.key] = cf
             # Identity-keyed leaves (Variables, model objects) must stay
@@ -274,7 +276,7 @@ Function.get_concrete_function.__ag_do_not_convert__ = True
 
 def function(func=None, *, name=None, autograph=True, optimize=True,
              reduce_retracing=False, retrace_limit=8, backend="graph",
-             freeze_captures=False):
+             freeze_captures=False, num_workers=None):
     """Decorate ``func`` as a traced, cached graph function.
 
     Usable bare (``@repro.function``), with options
@@ -301,6 +303,10 @@ def function(func=None, *, name=None, autograph=True, optimize=True,
         across the weights — for closures that really are constant; a
         frozen trace does not see later assignments or hot-swaps, and
         tape gradients do not flow to the frozen state.
+      num_workers: worker-thread count for level-parallel plan execution
+        (``repro.blocks``).  Functions with ``BlockArray`` inputs default
+        to one worker per core; dense functions stay serial unless this
+        is set.  ``1`` forces serial execution.
 
     Returns:
       A :class:`Function`, or a decorator when called with options only.
@@ -309,8 +315,10 @@ def function(func=None, *, name=None, autograph=True, optimize=True,
         return functools.partial(
             function, name=name, autograph=autograph, optimize=optimize,
             reduce_retracing=reduce_retracing, retrace_limit=retrace_limit,
-            backend=backend, freeze_captures=freeze_captures)
+            backend=backend, freeze_captures=freeze_captures,
+            num_workers=num_workers)
     return Function(
         func, name=name, autograph=autograph, optimize=optimize,
         reduce_retracing=reduce_retracing, retrace_limit=retrace_limit,
-        backend=backend, freeze_captures=freeze_captures)
+        backend=backend, freeze_captures=freeze_captures,
+        num_workers=num_workers)

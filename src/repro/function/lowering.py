@@ -798,7 +798,16 @@ class _LanternBackendBuilder(BackendBuilder):
         return lanternize_signature(canonical)
 
     def build(self, python_function, canonical, leaf_plan, name, *,
-              autograph, optimize, freeze_captures=False):
+              autograph, optimize, freeze_captures=False, num_workers=None):
+        for spec in canonical.specs:
+            if getattr(spec, "grid", None) is not None:
+                from ..framework.errors import StagingError
+
+                raise StagingError(
+                    f"repro.function {name!r} has a block-partitioned "
+                    "input; blocked plans are a graph-backend feature — "
+                    "use backend='graph'"
+                )
         return LanternConcreteFunction(
             python_function, canonical, leaf_plan, name,
             autograph=autograph, optimize=optimize,

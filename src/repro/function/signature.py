@@ -82,6 +82,24 @@ def _is_tensor_leaf(leaf):
     return isinstance(leaf, (EagerTensor, TensorSpec, np.ndarray, np.generic))
 
 
+_BLOCK_TYPES = None
+
+
+def _block_spec_for(leaf):
+    """The :class:`repro.blocks.spec.BlockSpec` for a block-partitioned
+    leaf, or ``None`` for every other value (lazy import: ``repro.blocks``
+    sits above this package)."""
+    global _BLOCK_TYPES
+    if _BLOCK_TYPES is None:
+        from ..blocks.array import BlockArray
+        from ..blocks.spec import BlockSpec
+
+        _BLOCK_TYPES = (BlockArray, BlockSpec)
+    if isinstance(leaf, _BLOCK_TYPES):
+        return _BLOCK_TYPES[1].from_value(leaf)
+    return None
+
+
 def _structure_token(structure):
     if isinstance(structure, dict):
         return ("d", type(structure).__name__,
@@ -126,6 +144,15 @@ def canonicalize(py_signature, args, kwargs):
                 "outside a graph context; symbolic values only make sense "
                 "while a graph is being traced"
             )
+        block_spec = _block_spec_for(leaf)
+        if block_spec is not None:
+            # Block-partitioned leaves: the grid is part of the key and
+            # never relaxes — each partitioning is its own executable.
+            tensor_indices.append(i)
+            specs.append(block_spec)
+            exact_tokens.append(("T", block_spec))
+            relaxed_tokens.append(("T", block_spec))
+            continue
         if _is_tensor_leaf(leaf):
             spec = TensorSpec.from_value(leaf)
             tensor_indices.append(i)

@@ -46,15 +46,17 @@ class BoundPlan:
     """An :class:`~repro.runtime.plan.ExecutionPlan` bound to a fixed
     positional argument order."""
 
-    __slots__ = ("plan", "_arg_binds", "_n_args")
+    __slots__ = ("plan", "scheduler", "_arg_binds", "_n_args")
 
-    def __init__(self, plan, arg_tensors):
+    def __init__(self, plan, arg_tensors, scheduler=None):
         """Bind ``arg_tensors`` (the plan's feed tensors, in the order
         ``execute_flat`` will receive their values) to plan slots.
 
         Validation work that does not depend on per-call values — slot
         resolution, dtype lookup, static-shape extraction — happens here,
-        once.
+        once.  ``scheduler`` (a :class:`repro.blocks.BlockScheduler`)
+        turns on level-parallel step execution; ``None`` keeps the serial
+        kernel loop.
         """
         slot_of = {id(t): slot for t, slot in plan.feed_slots}
         binds = []
@@ -78,6 +80,7 @@ class BoundPlan:
                 f"Plan feeds {unbound} were not bound to argument positions"
             )
         self.plan = plan
+        self.scheduler = scheduler
         self._arg_binds = tuple(binds)
         self._n_args = len(binds)
 
@@ -125,7 +128,7 @@ class BoundPlan:
                             f"({', '.join(str(d) for d in partial)})"
                         )
             values[slot] = (a,)
-        plan.execute(values)
+        plan.execute(values, self.scheduler)
         return plan.fetch(values)
 
     def __repr__(self):

@@ -18,9 +18,19 @@ allows (the Table-2 dispatch-overhead story):
   reach are compiled at all;
 - **output-buffer reuse** — a step whose kernel advertises an in-place
   variant (``OpDef.inplace_kernel``) may write its result into the buffer
-  of a single-consumer intermediate input, provided that buffer is not a
-  feed (caller-owned), not a baked constant (shared across calls) and not
-  itself fetched (returned to the caller).
+  of a single-consumer intermediate input (alias-tolerant ufuncs), or —
+  for ``inplace_no_alias`` kernels like ``MatMul`` — into any
+  intermediate buffer that is provably dead before the step runs, in
+  both serial and level-parallel execution order; donated buffers are
+  never feeds (caller-owned), baked constants (shared across calls) or
+  fetches (returned to the caller).
+
+Compilation also derives the plan's **levels**: a wavefront partition of
+the steps by data/control dependency depth (stateful steps additionally
+chained in program order).  Steps within one level are mutually
+independent, which is what lets :meth:`ExecutionPlan.execute` fan a
+level out on a :class:`repro.blocks.scheduler.BlockScheduler` — the
+per-block steps of a blocked plan all land in wide levels.
 
 Plans are executed either through :meth:`ExecutionPlan.execute` on a
 bound values list (the ``Session.run`` compatibility path) or through
@@ -53,6 +63,9 @@ class ExecutionPlan:
       n_slots: total number of value slots (op slots + feed slots).
       base_values: length-``n_slots`` template with pre-evaluated constant
         slots filled; every execution starts from a shallow copy.
+      levels: wavefront partition of step indices — steps in one level
+        are mutually independent (data, control and stateful-order
+        dependencies all land in earlier levels).
       refs: strong references to the fetch/feed objects this plan was
         compiled for.  Cache keys contain ``id()``s; holding the objects
         guarantees CPython cannot recycle those ids into *different*
@@ -60,10 +73,10 @@ class ExecutionPlan:
     """
 
     __slots__ = ("steps", "fetch_locators", "feed_slots", "n_slots",
-                 "base_values", "graph", "graph_version", "refs")
+                 "base_values", "graph", "graph_version", "levels", "refs")
 
     def __init__(self, steps, fetch_locators, feed_slots, n_slots,
-                 base_values, graph, graph_version, refs=()):
+                 base_values, graph, graph_version, levels=(), refs=()):
         self.steps = steps
         self.fetch_locators = fetch_locators
         self.feed_slots = feed_slots
@@ -71,6 +84,7 @@ class ExecutionPlan:
         self.base_values = base_values
         self.graph = graph
         self.graph_version = graph_version
+        self.levels = levels
         self.refs = refs
 
     # -- execution ---------------------------------------------------------
@@ -79,8 +93,26 @@ class ExecutionPlan:
         """A fresh per-call slot array (constants already in place)."""
         return list(self.base_values)
 
-    def execute(self, values):
-        """Run every step against ``values`` (feeds already bound)."""
+    def execute(self, values, scheduler=None):
+        """Run every step against ``values`` (feeds already bound).
+
+        With a parallel ``scheduler`` the steps run level by level,
+        each level's independent steps fanned out on the scheduler's
+        worker pool (slot stores into distinct indices of ``values``
+        are safe under the GIL; the kernels release it).
+        """
+        if (scheduler is not None and scheduler.parallel
+                and len(self.steps) > 1):
+            steps = self.steps
+            run = self._run_step
+            for level in self.levels:
+                if len(level) == 1:
+                    run(steps[level[0]], values)
+                else:
+                    scheduler.map(
+                        lambda i, _s=steps, _v=values: run(_s[i], _v),
+                        level)
+            return values
         for slot, kernel, locators, single, op_name, inplace in self.steps:
             try:
                 args = [values[j][k] for j, k in locators]
@@ -111,6 +143,33 @@ class ExecutionPlan:
                 ) from e
             values[slot] = (out,) if single else tuple(out)
         return values
+
+    def _run_step(self, step, values):
+        """One step of the level-parallel path (same semantics as the
+        inlined serial loop body, which stays unrolled for call speed)."""
+        slot, kernel, locators, single, op_name, inplace = step
+        try:
+            args = [values[j][k] for j, k in locators]
+            if inplace is not None:
+                dj, dk, ikernel, out_shape, out_dtype = inplace
+                buf = values[dj][dk]
+                if (type(buf) is np.ndarray and buf.shape == out_shape
+                        and buf.dtype == out_dtype):
+                    try:
+                        out = ikernel(*args, out=buf)
+                    except (TypeError, ValueError):
+                        out = kernel(*args)
+                else:
+                    out = kernel(*args)
+            else:
+                out = kernel(*args)
+        except ExecutionError:
+            raise
+        except Exception as e:
+            raise ExecutionError(
+                f"Error executing op {op_name!r}: {e}", op_name=op_name
+            ) from e
+        values[slot] = (out,) if single else tuple(out)
 
     def fetch(self, values):
         """The flat fetch results out of an executed ``values`` array."""
@@ -275,8 +334,9 @@ def compile_plan(graph, flat_fetches, feed_tensors):
         else:
             fetch_locators.append(locator(t))
 
+    step_levels, levels = _compute_levels(steps, step_ops)
     _assign_buffer_reuse(steps, step_ops, fetch_locators, const_slots,
-                         len(needed))
+                         len(needed), step_levels)
 
     return ExecutionPlan(
         tuple(tuple(s) for s in steps),
@@ -286,7 +346,42 @@ def compile_plan(graph, flat_fetches, feed_tensors):
         base_values,
         graph,
         graph.version,
+        levels=levels,
     )
+
+
+def _compute_levels(steps, step_ops):
+    """Dependency-depth wavefronts over the emitted steps.
+
+    A step's level is one past the deepest level among (a) the steps
+    producing its input slots, (b) the steps its op holds control
+    dependencies on, and (c) — for stateful ops — the previous stateful
+    step, so side effects keep their program order even when levels run
+    in parallel.  Returns ``(per-step levels, tuple of index tuples)``.
+    """
+    producer = {s[0]: i for i, s in enumerate(steps)}
+    index_of_op = {id(op): i for i, op in enumerate(step_ops)}
+    level = [0] * len(steps)
+    last_stateful = None
+    for i, (s, op) in enumerate(zip(steps, step_ops)):
+        lv = 0
+        for j, _k in s[2]:
+            p = producer.get(j)
+            if p is not None and level[p] >= lv:
+                lv = level[p] + 1
+        for c in op.control_inputs:
+            p = index_of_op.get(id(c))
+            if p is not None and level[p] >= lv:
+                lv = level[p] + 1
+        if op.op_def.stateful:
+            if last_stateful is not None and level[last_stateful] >= lv:
+                lv = level[last_stateful] + 1
+            last_stateful = i
+        level[i] = lv
+    buckets = [[] for _ in range((max(level) + 1) if level else 0)]
+    for i, lv in enumerate(level):
+        buckets[lv].append(i)
+    return level, tuple(tuple(b) for b in buckets)
 
 
 _DEFER = object()
@@ -308,54 +403,107 @@ def _bake(value):
 
 
 def _assign_buffer_reuse(steps, step_ops, fetch_locators, const_slots,
-                         n_op_slots):
-    """Mark steps that may write their output into an input's buffer.
+                         n_op_slots, step_levels):
+    """Mark steps that may write their output into a reusable buffer.
 
-    A donated buffer must be (1) produced by an executed step of this
-    plan whose kernel *allocates* its result (``OpDef.fresh_output``) —
-    never a feed (the caller owns that array), a baked constant (shared
-    across calls), or the output of an alias-returning kernel like
-    ``Identity`` or a variable read (writing into those would corrupt
-    caller arrays or live state); (2) consumed exactly once in the whole
-    plan; (3) not fetched (the caller receives it); and the kernel must
-    have an in-place variant with statically known, exactly matching
-    output shape/dtype.
+    A donated buffer must be produced by an executed step of this plan
+    whose kernel *allocates* its result (``OpDef.fresh_output``) — never
+    a feed (the caller owns that array), a baked constant (shared across
+    calls), or the output of an alias-returning kernel like ``Identity``
+    or a variable read (writing into those would corrupt caller arrays
+    or live state) — and never a fetch (the caller receives it).  The
+    in-place variant's output shape/dtype must be statically known and
+    match the donor exactly.  Two donation disciplines:
+
+    - **alias-tolerant** kernels (ufuncs) take a dying *input*: a buffer
+      this step is the sole consumer of, written while being read;
+    - **no-alias** kernels (``inplace_no_alias``, e.g. BLAS ``MatMul``)
+      take any intermediate that is provably dead before the step runs —
+      its last consumer finishing earlier both in serial step order
+      *and* in level order, so the level-parallel path can never be
+      writing it concurrently.
+
+    Each buffer is donated at most once (the ``claimed`` set): after
+    donation it carries the donee's output, which later steps may read.
     """
-    donatable = set()
-    for s, op in zip(steps, step_ops):
+    donatable = {}
+    for i, (s, op) in enumerate(zip(steps, step_ops)):
         if op.op_def.fresh_output:
             for k in range(op.op_def.num_outputs):
-                donatable.add((s[0], k))
+                donatable[(s[0], k)] = i
 
     consumers = {}
-    for s in steps:
+    last_use = {}
+    for i, s in enumerate(steps):
         for loc in s[2]:
             consumers[loc] = consumers.get(loc, 0) + 1
+            li, ll = last_use.get(loc, (-1, -1))
+            last_use[loc] = (max(li, i), max(ll, step_levels[i]))
     fetched = set(fetch_locators)
 
+    # Dead-buffer pool for no-alias kernels: donatable intermediates
+    # keyed by (dtype, shape), each tagged with the last (index, level)
+    # at which anything touches the buffer.
+    pool = {}
     for s, op in zip(steps, step_ops):
+        for k, t in enumerate(op.outputs):
+            loc = (s[0], k)
+            if loc not in donatable or loc in fetched:
+                continue
+            if loc[0] in const_slots or loc[0] >= n_op_slots:
+                continue
+            if t.dtype.np_dtype is None or not t.shape.is_fully_defined:
+                continue
+            pi = donatable[loc]
+            li, ll = last_use.get(loc, (-1, -1))
+            entry = (max(li, pi), max(ll, step_levels[pi]), loc)
+            pool.setdefault(
+                (np.dtype(t.dtype.np_dtype), t.shape.as_tuple()), []
+            ).append(entry)
+    for entries in pool.values():
+        entries.sort()
+
+    claimed = set()
+    for i, (s, op) in enumerate(zip(steps, step_ops)):
         ikernel = op.op_def.inplace_kernel
         if ikernel is None or not s[3]:
             continue
-        if any(not k.startswith("_") for k in op.attrs):
-            # Runtime attrs would need re-binding into the in-place
-            # variant; skip — none of the registered candidates carry any.
-            continue
+        runtime_attrs = {
+            k: v for k, v in op.attrs.items() if not k.startswith("_")
+        }
+        if runtime_attrs:
+            ikernel = functools.partial(ikernel, **runtime_attrs)
         out_t = op.outputs[0]
         out_dtype = out_t.dtype.np_dtype
         if out_dtype is None or not out_t.shape.is_fully_defined:
             continue
         out_shape = out_t.shape.as_tuple()
+
+        if op.op_def.inplace_no_alias:
+            lv = step_levels[i]
+            for li, ll, loc in pool.get(
+                    (np.dtype(out_dtype), out_shape), ()):
+                if li >= i or ll >= lv:
+                    continue
+                if loc in claimed:
+                    continue
+                s[5] = (loc[0], loc[1], ikernel, out_shape,
+                        np.dtype(out_dtype))
+                claimed.add(loc)
+                break
+            continue
+
         for t, loc in zip(op.inputs, s[2]):
             if loc not in donatable or loc[0] in const_slots:
                 continue
             if loc[0] >= n_op_slots:  # a feed slot
                 continue
-            if consumers.get(loc, 0) != 1 or loc in fetched:
+            if consumers.get(loc, 0) != 1 or loc in fetched or loc in claimed:
                 continue
             if t.dtype.np_dtype != out_dtype:
                 continue
             if not t.shape.is_fully_defined or t.shape.as_tuple() != out_shape:
                 continue
             s[5] = (loc[0], loc[1], ikernel, out_shape, np.dtype(out_dtype))
+            claimed.add(loc)
             break

@@ -1,0 +1,129 @@
+"""BlockArray / BlockGrid structural behavior."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import BlockArray, BlockGrid
+
+
+def _arr(shape, dtype=np.float32, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape).astype(dtype)
+
+
+class TestBlockGrid:
+    def test_regular_ceil_partition(self):
+        g = BlockGrid.regular((7, 6), (3, 2))
+        assert g.splits == ((3, 3, 1), (2, 2, 2))
+        assert g.grid_shape == (3, 3)
+        assert g.num_blocks == 9
+        assert g.shape == (7, 6)
+
+    def test_oversized_block_is_single(self):
+        g = BlockGrid.regular((4,), (100,))
+        assert g.splits == ((4,),)
+        assert g.num_blocks == 1
+
+    def test_entries_row_major(self):
+        g = BlockGrid.regular((4, 4), (2, 2))
+        assert list(g.entries()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        for i, e in enumerate(g.entries()):
+            assert g.entry_index(e) == i
+
+    def test_block_bounds_and_shape(self):
+        g = BlockGrid.regular((5, 4), (3, 4))
+        assert g.block_bounds((1, 0)) == ((3, 5), (0, 4))
+        assert g.block_shape((1, 0)) == (2, 4)
+
+    def test_transposed_and_reduced(self):
+        g = BlockGrid.regular((4, 6), (2, 3))
+        t = g.transposed((1, 0))
+        assert t.shape == (6, 4)
+        assert t.splits == ((3, 3), (2, 2))
+        r = g.reduced(0, keepdims=False)
+        assert r.shape == (6,)
+        rk = g.reduced(0, keepdims=True)
+        assert rk.shape == (1, 6)
+
+    def test_eq_hash_by_splits(self):
+        a = BlockGrid.regular((4, 4), (2, 2))
+        b = BlockGrid((4, 4), ((2, 2), (2, 2)))
+        c = BlockGrid((4, 4), ((2, 2), (4,)))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestBlockArray:
+    def test_roundtrip_all_grids(self):
+        x = _arr((7, 5))
+        for block_shape in [(7, 5), (3, 2), (1, 1), (4, 5)]:
+            b = BlockArray.from_dense(x, block_shape=block_shape)
+            np.testing.assert_array_equal(b.to_dense(), x)
+            assert b.dtype == x.dtype
+            assert b.shape == x.shape
+
+    def test_blocks_are_copies_of_regions(self):
+        x = np.arange(16.0).reshape(4, 4)
+        b = BlockArray.from_dense(x, block_shape=(2, 2))
+        np.testing.assert_array_equal(b.block((1, 0)), x[2:4, 0:2])
+
+    def test_from_dense_needs_exactly_one_partitioning(self):
+        x = _arr((4, 4))
+        g = BlockGrid.regular((4, 4), (2, 2))
+        with pytest.raises(ValueError):
+            BlockArray.from_dense(x)
+        with pytest.raises(ValueError):
+            BlockArray.from_dense(x, block_shape=(2, 2), grid=g)
+
+    def test_getitem_slice_returns_blockarray(self):
+        x = _arr((8, 6))
+        b = BlockArray.from_dense(x, block_shape=(4, 3))
+        sub = b[2:7]
+        assert isinstance(sub, BlockArray)
+        np.testing.assert_array_equal(np.asarray(sub), x[2:7])
+
+    def test_getitem_int_drops_axis(self):
+        x = _arr((6, 4))
+        b = BlockArray.from_dense(x, block_shape=(3, 2))
+        row = b[4]
+        np.testing.assert_array_equal(np.asarray(row), x[4])
+
+    def test_getitem_all_int_scalar(self):
+        x = _arr((6, 4))
+        b = BlockArray.from_dense(x, block_shape=(3, 2))
+        assert np.asarray(b[5, 3]) == x[5, 3]
+
+    def test_regrid_preserves_values(self):
+        x = _arr((9, 4))
+        b = BlockArray.from_dense(x, block_shape=(3, 4))
+        r = b.regrid(block_shape=(2, 2))
+        assert r.grid == BlockGrid.regular((9, 4), (2, 2))
+        np.testing.assert_array_equal(r.to_dense(), x)
+
+    def test_operators_match_numpy(self):
+        x, y = _arr((6, 6)), _arr((6, 6), seed=1)
+        bx = BlockArray.from_dense(x, block_shape=(3, 3))
+        by = BlockArray.from_dense(y, block_shape=(3, 3))
+        np.testing.assert_array_equal(np.asarray(bx + by), x + y)
+        np.testing.assert_array_equal(np.asarray(bx * 2.0), x * 2.0)
+        np.testing.assert_array_equal(np.asarray(bx - y), x - y)
+        np.testing.assert_array_equal(np.asarray(-bx), -x)
+
+    def test_transpose_and_T(self):
+        x = _arr((4, 6))
+        b = BlockArray.from_dense(x, block_shape=(2, 3))
+        np.testing.assert_array_equal(np.asarray(b.T), x.T)
+        np.testing.assert_array_equal(np.asarray(b.transpose()), x.T)
+
+    def test_reductions(self):
+        x = _arr((6, 4), dtype=np.float64)
+        b = BlockArray.from_dense(x, block_shape=(2, 2))
+        np.testing.assert_allclose(np.asarray(b.sum()), x.sum())
+        np.testing.assert_array_equal(np.asarray(b.max(axis=0)), x.max(axis=0))
+        np.testing.assert_array_equal(np.asarray(b.min(axis=1)), x.min(axis=1))
+
+    def test_array_protocol(self):
+        x = _arr((4, 4))
+        b = BlockArray.from_dense(x, block_shape=(2, 2))
+        np.testing.assert_array_equal(np.asarray(b), x)
+        np.testing.assert_array_equal(np.tanh(b), np.tanh(x))

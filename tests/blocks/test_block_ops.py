@@ -1,0 +1,197 @@
+"""Property tests: blocked ops are bit-equivalent to their dense kernels.
+
+Two invariant families:
+
+- **Dense equivalence.** Elementwise blocked ops are bitwise equal to the
+  dense kernel for arbitrary floats (the per-block computation is the
+  same ufunc on a contiguous copy of the same values).  Accumulating ops
+  (matmul, reductions) combine partials in a fixed pairwise tree, which
+  is a *different summation order* than NumPy's — so bitwise equality is
+  asserted on small-integer-valued floats, where every intermediate is
+  exact and order cannot matter.
+- **Scheduler determinism.** The pairwise tree makes results a function
+  of the partition alone: any worker count, and repeated runs, are
+  bit-identical.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks import BlockArray, BlockGrid, BlockScheduler
+from repro.blocks import ops as bops
+from repro.framework import registry
+
+settings.register_profile("repro-blocks", deadline=None, max_examples=30)
+settings.load_profile("repro-blocks")
+
+
+@st.composite
+def partitioned_matrix(draw, max_side=8, integer_valued=False):
+    """A random float32 matrix plus a random irregular grid over it."""
+    rows = draw(st.integers(1, max_side))
+    cols = draw(st.integers(1, max_side))
+    if integer_valued:
+        data = draw(st.lists(
+            st.integers(-4, 4), min_size=rows * cols, max_size=rows * cols))
+    else:
+        data = draw(st.lists(
+            st.floats(-10, 10, allow_nan=False, width=32),
+            min_size=rows * cols, max_size=rows * cols))
+    dense = np.asarray(data, np.float32).reshape(rows, cols)
+    splits = (draw(_splits_of(rows)), draw(_splits_of(cols)))
+    return dense, BlockGrid((rows, cols), splits)
+
+
+def _splits_of(n):
+    """Random ordered partition of n into positive parts."""
+    return st.lists(
+        st.integers(1, n), min_size=1).map(lambda parts: _clip(parts, n))
+
+
+def _clip(parts, n):
+    out, total = [], 0
+    for p in parts:
+        if total + p >= n:
+            out.append(n - total)
+            total = n
+            break
+        out.append(p)
+        total += p
+    if total < n:
+        out.append(n - total)
+    return tuple(p for p in out if p > 0)
+
+
+UNARY = sorted(bops.UNARY_ELEMENTWISE - {"LogicalNot", "Log", "Sqrt"})
+BINARY = sorted(bops.BINARY_ELEMENTWISE
+                - {"LogicalAnd", "LogicalOr", "Div", "Mod", "FloorDiv",
+                   "Pow"})
+
+
+@given(pm=partitioned_matrix(), op_index=st.integers(0, len(UNARY) - 1))
+def test_unary_elementwise_bitwise(pm, op_index):
+    dense, grid = pm
+    op_name = UNARY[op_index]
+    blocked = bops.map_unary(op_name, BlockArray.from_dense(dense, grid=grid))
+    expect = registry.get_op_def(op_name).kernel(dense)
+    np.testing.assert_array_equal(blocked.to_dense(), expect)
+    assert blocked.grid == grid
+
+
+@given(pm=partitioned_matrix(), op_index=st.integers(0, len(BINARY) - 1),
+       data=st.data())
+def test_binary_elementwise_bitwise(pm, op_index, data):
+    dense, grid = pm
+    other = data.draw(st.lists(
+        st.floats(-10, 10, allow_nan=False, width=32),
+        min_size=dense.size, max_size=dense.size))
+    other = np.asarray(other, np.float32).reshape(dense.shape)
+    op_name = BINARY[op_index]
+    kernel = registry.get_op_def(op_name).kernel
+    bx = BlockArray.from_dense(dense, grid=grid)
+    by = BlockArray.from_dense(other, grid=grid)
+    expect = kernel(dense, other)
+    # blocked x blocked, blocked x dense, dense x blocked: all bitwise.
+    np.testing.assert_array_equal(
+        bops.map_binary(op_name, bx, by).to_dense(), expect)
+    np.testing.assert_array_equal(
+        bops.map_binary(op_name, bx, other).to_dense(), expect)
+    np.testing.assert_array_equal(
+        bops.map_binary(op_name, dense, by).to_dense(), expect)
+
+
+@given(pm=partitioned_matrix(), data=st.data())
+def test_binary_broadcast_operands(pm, data):
+    dense, grid = pm
+    bx = BlockArray.from_dense(dense, grid=grid)
+    scalar = np.float32(data.draw(st.floats(-4, 4, allow_nan=False)))
+    np.testing.assert_array_equal(
+        bops.add(bx, scalar).to_dense(), dense + scalar)
+    row = np.asarray(data.draw(st.lists(
+        st.floats(-4, 4, allow_nan=False, width=32),
+        min_size=dense.shape[1], max_size=dense.shape[1])), np.float32)
+    np.testing.assert_array_equal(
+        bops.multiply(bx, row).to_dense(), dense * row)
+
+
+@given(a=partitioned_matrix(integer_valued=True), data=st.data())
+def test_matmul_bitwise_on_exact_values(a, data):
+    dense_a, grid_a = a
+    k = dense_a.shape[1]
+    n = data.draw(st.integers(1, 6))
+    vals = data.draw(st.lists(
+        st.integers(-4, 4), min_size=k * n, max_size=k * n))
+    dense_b = np.asarray(vals, np.float32).reshape(k, n)
+    splits_b = (data.draw(_splits_of(k)), data.draw(_splits_of(n)))
+    bb = BlockArray.from_dense(
+        dense_b, grid=BlockGrid((k, n), splits_b))
+    ba = BlockArray.from_dense(dense_a, grid=grid_a)
+    # Small-integer operands: every partial product and sum is exact in
+    # float32, so any summation order gives the same bits.
+    expect = dense_a @ dense_b
+    np.testing.assert_array_equal(bops.matmul(ba, bb).to_dense(), expect)
+    np.testing.assert_array_equal(bops.matmul(ba, dense_b).to_dense(), expect)
+    np.testing.assert_array_equal(bops.matmul(dense_a, bb).to_dense(), expect)
+
+
+@given(pm=partitioned_matrix(integer_valued=True),
+       axis=st.sampled_from([None, 0, 1]), keepdims=st.booleans())
+def test_reductions_bitwise_on_exact_values(pm, axis, keepdims):
+    dense, grid = pm
+    b = BlockArray.from_dense(dense, grid=grid)
+    s = bops.reduce_sum(b, axis=axis, keepdims=keepdims)
+    np.testing.assert_array_equal(
+        np.asarray(s), dense.sum(axis=axis, keepdims=keepdims))
+    mx = bops.reduce_max(b, axis=axis, keepdims=keepdims)
+    np.testing.assert_array_equal(
+        np.asarray(mx), dense.max(axis=axis, keepdims=keepdims))
+    mn = bops.reduce_min(b, axis=axis, keepdims=keepdims)
+    np.testing.assert_array_equal(
+        np.asarray(mn), dense.min(axis=axis, keepdims=keepdims))
+
+
+@given(pm=partitioned_matrix(integer_valued=True),
+       axis=st.sampled_from([None, 0, 1]))
+def test_mean_matches_tree_sum(pm, axis):
+    dense, grid = pm
+    b = BlockArray.from_dense(dense, grid=grid)
+    m = bops.reduce_mean(b, axis=axis)
+    count = dense.size if axis is None else dense.shape[axis]
+    s = np.asarray(bops.reduce_sum(b, axis=axis))
+    np.testing.assert_array_equal(
+        np.asarray(m), (s / np.float32(count)).astype(np.float32))
+
+
+@given(pm=partitioned_matrix())
+def test_transpose_and_concat(pm):
+    dense, grid = pm
+    b = BlockArray.from_dense(dense, grid=grid)
+    np.testing.assert_array_equal(
+        bops.transpose(b).to_dense(), dense.T)
+    c = bops.concat([b, b], axis=0)
+    np.testing.assert_array_equal(
+        c.to_dense(), np.concatenate([dense, dense], axis=0))
+
+
+@given(a=partitioned_matrix(), data=st.data())
+def test_scheduler_determinism(a, data):
+    """Worker count and repetition never change a single bit."""
+    dense, grid = a
+    k = dense.shape[1]
+    vals = data.draw(st.lists(
+        st.floats(-10, 10, allow_nan=False, width=32),
+        min_size=k * 3, max_size=k * 3))
+    dense_b = np.asarray(vals, np.float32).reshape(k, 3)
+    ba = BlockArray.from_dense(dense, grid=grid)
+
+    def compute(scheduler):
+        h = bops.tanh(bops.add(bops.square(ba), 0.5), scheduler=scheduler)
+        p = bops.matmul(h, dense_b, scheduler=scheduler)
+        return np.asarray(bops.reduce_sum(p, axis=0, scheduler=scheduler))
+
+    serial = compute(None)
+    with BlockScheduler(num_workers=4) as sched:
+        assert sched.parallel
+        np.testing.assert_array_equal(compute(sched), serial)
+        np.testing.assert_array_equal(compute(sched), serial)

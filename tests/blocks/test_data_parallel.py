@@ -1,0 +1,127 @@
+"""DataParallelTrainer: sharded gradients == full-batch gradients."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import BlockArray, BlockGrid, BlockScheduler, DataParallelTrainer
+from repro.framework import Variable, ops
+from repro.framework.eager.tape import GradientTape
+from repro.nn.optimizers import SGD
+
+
+def _data(n=12, d=5, seed=1):
+    rng = np.random.default_rng(seed)
+    x = rng.integers(-3, 4, size=(n, d)).astype(np.float64)
+    y = rng.integers(-3, 4, size=(n, 1)).astype(np.float64)
+    return x, y
+
+
+def _model():
+    w = Variable(np.zeros((5, 1), np.float64), name="dp_w")
+    b = Variable(np.zeros((1,), np.float64), name="dp_b")
+
+    def loss_fn(x, y):
+        pred = ops.add(ops.matmul(x, w.value()), b.value())
+        err = ops.subtract(pred, y)
+        return ops.reduce_mean(ops.multiply(err, err))
+
+    return loss_fn, [w, b]
+
+
+def _full_batch(loss_fn, variables, x, y):
+    with GradientTape() as tape:
+        for v in variables:
+            tape.watch(v)
+        loss = loss_fn(x, y)
+    return (np.asarray(loss),
+            [g.numpy() for g in tape.gradient(loss, variables)])
+
+
+class TestGradientEquivalence:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 4])
+    def test_dense_shards_match_full_batch(self, num_shards):
+        x, y = _data()
+        loss_fn, variables = _model()
+        ref_loss, ref_grads = _full_batch(loss_fn, variables, x, y)
+        trainer = DataParallelTrainer(loss_fn, variables,
+                                      num_shards=num_shards)
+        loss, grads = trainer.step(x, y)
+        np.testing.assert_allclose(loss, ref_loss, rtol=1e-6)
+        for g, r in zip(grads, ref_grads):
+            np.testing.assert_allclose(g, r, rtol=1e-6, atol=1e-8)
+
+    def test_uneven_shards_reweight_exactly(self):
+        # 12 rows over 5 shards: shard sizes 3,3,2,2,2 — the weighted
+        # all-reduce must still equal the full-batch mean gradient.
+        x, y = _data()
+        loss_fn, variables = _model()
+        _, ref_grads = _full_batch(loss_fn, variables, x, y)
+        _, grads = DataParallelTrainer(
+            loss_fn, variables, num_shards=5).step(x, y)
+        for g, r in zip(grads, ref_grads):
+            np.testing.assert_allclose(g, r, rtol=1e-6, atol=1e-8)
+
+    def test_block_array_row_splits_define_shards(self):
+        x, y = _data()
+        loss_fn, variables = _model()
+        _, ref_grads = _full_batch(loss_fn, variables, x, y)
+        bx = BlockArray.from_dense(
+            x, grid=BlockGrid((12, 5), ((5, 4, 3), (5,))))
+        _, grads = DataParallelTrainer(loss_fn, variables).step(bx, y)
+        for g, r in zip(grads, ref_grads):
+            np.testing.assert_allclose(g, r, rtol=1e-6, atol=1e-8)
+
+    def test_parallel_allreduce_is_deterministic(self):
+        x, y = _data()
+        loss_fn, variables = _model()
+        serial = DataParallelTrainer(loss_fn, variables, num_shards=3)
+        _, base = serial.step(x, y)
+        with BlockScheduler(num_workers=4) as sched:
+            fan = DataParallelTrainer(loss_fn, variables, num_shards=3,
+                                      scheduler=sched)
+            for _ in range(2):
+                _, grads = fan.step(x, y)
+                for g, r in zip(grads, base):
+                    np.testing.assert_array_equal(g, r)
+
+
+class TestOptimizerAndErrors:
+    def test_sgd_step_applies_combined_gradient(self):
+        x, y = _data()
+        loss_fn, variables = _model()
+        _, ref_grads = _full_batch(loss_fn, variables, x, y)
+        trainer = DataParallelTrainer(loss_fn, variables, num_shards=2,
+                                      optimizer=SGD(learning_rate=0.1))
+        trainer.step(x, y)
+        for v, g in zip(variables, ref_grads):
+            np.testing.assert_allclose(v.numpy(), -0.1 * g,
+                                       rtol=1e-6, atol=1e-8)
+
+    def test_training_converges(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((24, 5))
+        true_w = rng.standard_normal((5, 1))
+        y = x @ true_w + 0.5
+        loss_fn, variables = _model()
+        trainer = DataParallelTrainer(loss_fn, variables, num_shards=4,
+                                      optimizer=SGD(learning_rate=0.05))
+        losses = [float(trainer.step(x, y)[0]) for _ in range(60)]
+        assert losses[-1] < 0.05 * losses[0]
+
+    def test_disagreeing_row_splits_raise(self):
+        x, y = _data()
+        loss_fn, variables = _model()
+        bx = BlockArray.from_dense(x, grid=BlockGrid((12, 5), ((6, 6), (5,))))
+        by = BlockArray.from_dense(y, grid=BlockGrid((12, 1), ((4, 4, 4), (1,))))
+        with pytest.raises(ValueError, match="row splits"):
+            DataParallelTrainer(loss_fn, variables).step(bx, by)
+
+    def test_scalar_batch_input_raises(self):
+        loss_fn, variables = _model()
+        with pytest.raises(ValueError, match="leading axis"):
+            DataParallelTrainer(loss_fn, variables).step(np.float64(3.0))
+
+    def test_invalid_num_shards(self):
+        loss_fn, variables = _model()
+        with pytest.raises(ValueError):
+            DataParallelTrainer(loss_fn, variables, num_shards=-1)

@@ -1,0 +1,85 @@
+"""The trace-time diagnostic for reading a variable after an in-trace
+assign.
+
+In a top-level trace, ``v.value()`` is an external *capture* — a runtime
+input resolved before the call runs.  Staging an assign and then reading
+the variable therefore silently yields the pre-call snapshot.  The
+Variable layer now warns, loudly and once per (variable, graph), naming
+both the capture and the assign op.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.framework import Variable, ops
+
+
+def test_read_after_in_trace_assign_warns_and_names_both_ops():
+    v = Variable(np.float32(1.0), name="warn_raa")
+
+    @repro.function
+    def step(x):
+        v.assign_add(x)
+        return ops.add(v.value(), 0.0)  # capture: pre-call snapshot
+
+    with pytest.warns(UserWarning, match="warn_raa") as record:
+        out = step(np.float32(2.0))
+    messages = [str(w.message) for w in record
+                if "pre-call snapshot" in str(w.message)]
+    assert len(messages) == 1
+    # The diagnostic names the assign op and the capture placeholder.
+    assert "AssignAddVariable_warn_raa" in messages[0]
+    assert "capture" in messages[0]
+    # And documents the actual (wart) semantics: the read sees 1.0, not
+    # 3.0 — while the variable itself did get the assignment.
+    assert np.asarray(out) == np.float32(1.0)
+    assert v.numpy() == np.float32(3.0)
+
+
+def test_warns_once_per_trace_not_per_call():
+    v = Variable(np.float32(0.0), name="warn_once")
+
+    @repro.function
+    def step():
+        v.assign_add(1.0)
+        return v.value()
+
+    with pytest.warns(UserWarning, match="warn_once"):
+        step()
+    # Cached executable, same graph: no second warning.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        step()
+
+
+def test_read_before_assign_does_not_warn():
+    v = Variable(np.float32(5.0), name="no_warn_rba")
+
+    @repro.function
+    def step(x):
+        before = v.value()
+        v.assign_add(x)
+        return before
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        out = step(np.float32(1.0))
+    assert np.asarray(out) == np.float32(5.0)
+    assert v.numpy() == np.float32(6.0)
+
+
+def test_assign_result_tensor_is_the_documented_escape_hatch():
+    v = Variable(np.float32(1.0), name="warn_escape")
+
+    @repro.function
+    def step(x):
+        updated = v.assign_add(x)  # the assign op's own output
+        return updated
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        out = step(np.float32(2.0))
+    assert np.asarray(out) == np.float32(3.0)

@@ -1,0 +1,175 @@
+"""Level-parallel plan execution and the no-alias donation discipline.
+
+``compile_plan`` now buckets steps into wavefront levels (every step's
+data, control and stateful-order dependencies live in strictly earlier
+levels), and ``ExecutionPlan.execute`` fans a level's steps out on a
+scheduler.  These tests pin the two properties that make that safe:
+
+- scheduling never changes results (levels respect all three dependency
+  kinds, and the fixed combination trees make the math order-free);
+- ``inplace_no_alias`` donation (MatMul's BLAS ``out=``) only takes
+  buffers whose last use is in a strictly earlier *level*, so a
+  concurrently-running sibling step can never observe the overwrite.
+"""
+
+import numpy as np
+
+from repro import framework as fw
+from repro.blocks import BlockScheduler
+from repro.framework import ops
+from repro.runtime import BoundPlan, compile_plan
+
+
+def _plan_for(fetches, feeds=()):
+    graph = (fetches[0] if isinstance(fetches, (list, tuple)) else fetches).graph
+    flat = list(fetches) if isinstance(fetches, (list, tuple)) else [fetches]
+    return compile_plan(graph, flat, list(feeds))
+
+
+def _wide_graph():
+    """A fan-out/fan-in diamond: 4 independent branches, then a merge."""
+    g = fw.Graph()
+    with g.as_default():
+        x = ops.placeholder(fw.float32, [16, 16])
+        branches = [ops.tanh(ops.multiply(x, float(i + 1))) for i in range(4)]
+        merged = branches[0]
+        for b in branches[1:]:
+            merged = ops.add(merged, b)
+        y = ops.matmul(merged, x)
+    return x, y
+
+
+class TestLevels:
+    def test_levels_partition_all_steps(self):
+        x, y = _wide_graph()
+        plan = _plan_for(y, [x])
+        indices = sorted(i for level in plan.levels for i in level)
+        assert indices == list(range(len(plan.steps)))
+
+    def test_levels_respect_data_dependencies(self):
+        x, y = _wide_graph()
+        plan = _plan_for(y, [x])
+        level_of = {}
+        for lv, level in enumerate(plan.levels):
+            for i in level:
+                level_of[i] = lv
+        producer = {step[0]: i for i, step in enumerate(plan.steps)}
+        for i, step in enumerate(plan.steps):
+            for loc in step[2]:
+                slot = loc if isinstance(loc, int) else loc[0]
+                if slot in producer and producer[slot] != i:
+                    assert level_of[producer[slot]] < level_of[i]
+
+    def test_independent_branches_share_a_level(self):
+        x, y = _wide_graph()
+        plan = _plan_for(y, [x])
+        widths = [len(level) for level in plan.levels]
+        # The 4 multiply steps (then the 4 tanh steps) are independent.
+        assert max(widths) >= 4
+
+    def test_stateful_steps_never_share_a_level(self):
+        g = fw.Graph()
+        with g.as_default():
+            a = ops.random_normal([4])
+            b = ops.random_normal([4])
+            y = ops.add(a, b)
+        plan = _plan_for(y)
+        level_of = {}
+        for lv, level in enumerate(plan.levels):
+            for i in level:
+                level_of[i] = lv
+        stateful = [i for i, op in enumerate(["rand", "rand", "add"])
+                    if op == "rand"]
+        assert level_of[stateful[0]] != level_of[stateful[1]]
+
+
+class TestParallelExecution:
+    def test_scheduler_matches_serial_bitwise(self):
+        x, y = _wide_graph()
+        plan = _plan_for(y, [x])
+        rng = np.random.default_rng(0)
+        feed = rng.standard_normal((16, 16)).astype(np.float32)
+        serial = BoundPlan(plan, [x]).execute_flat([feed])[0]
+        with BlockScheduler(num_workers=4) as sched:
+            bound = BoundPlan(plan, [x], sched)
+            for _ in range(3):
+                np.testing.assert_array_equal(
+                    bound.execute_flat([feed])[0], serial)
+
+    def test_parallel_plan_with_control_deps(self):
+        g = fw.Graph()
+        with g.as_default():
+            x = ops.placeholder(fw.float32, [8])
+            a = ops.tanh(x)
+            b = ops.exp(x)
+            b.op.add_control_input(a.op)
+            y = ops.add(a, b)
+        plan = _plan_for(y, [x])
+        feed = np.linspace(-1, 1, 8, dtype=np.float32)
+        with BlockScheduler(num_workers=2) as sched:
+            out = BoundPlan(plan, [x], sched).execute_flat([feed])[0]
+        np.testing.assert_allclose(out, np.tanh(feed) + np.exp(feed),
+                                   rtol=1e-6)
+
+
+class TestNoAliasDonation:
+    def test_matmul_reuses_a_dead_buffer(self):
+        g = fw.Graph()
+        with g.as_default():
+            x = ops.placeholder(fw.float32, [8, 8])
+            # `dead` is consumed by `h` and never again; its buffer has
+            # matmul's output shape/dtype and dies a level before it.
+            dead = ops.multiply(x, 2.0)
+            h = ops.tanh(dead)
+            y = ops.matmul(h, h)
+        plan = _plan_for(y, [x])
+        donations = [s[5] for s in plan.steps if s[5] is not None]
+        assert donations, "expected at least one in-place reuse record"
+        rng = np.random.default_rng(1)
+        feed = rng.standard_normal((8, 8)).astype(np.float32)
+        out = BoundPlan(plan, [x]).execute_flat([feed])[0]
+        expect = np.tanh(feed * 2.0) @ np.tanh(feed * 2.0)
+        np.testing.assert_allclose(out, expect, rtol=1e-5)
+
+    def test_same_level_buffer_is_not_taken(self):
+        g = fw.Graph()
+        with g.as_default():
+            x = ops.placeholder(fw.float32, [8, 8])
+            h = ops.tanh(x)
+            # Both consume only `h`: they land in the same level, so
+            # neither's input may be donated to the other's matmul.
+            left = ops.matmul(h, h)
+            right = ops.multiply(h, 3.0)
+            y = ops.add(left, right)
+        plan = _plan_for(y, [x])
+        level_of = {}
+        for lv, level in enumerate(plan.levels):
+            for i in level:
+                level_of[i] = lv
+        for i, step in enumerate(plan.steps):
+            rec = step[5]
+            if rec is None or not isinstance(rec, tuple):
+                continue
+            donor_slot = rec[0]
+            producer = {s[0]: j for j, s in enumerate(plan.steps)}
+            if donor_slot in producer:
+                assert level_of[producer[donor_slot]] < level_of[i]
+        rng = np.random.default_rng(2)
+        feed = rng.standard_normal((8, 8)).astype(np.float32)
+        with BlockScheduler(num_workers=4) as sched:
+            out = BoundPlan(plan, [x], sched).execute_flat([feed])[0]
+        h = np.tanh(feed)
+        np.testing.assert_allclose(out, h @ h + h * 3.0, rtol=1e-5)
+
+    def test_fetched_buffer_is_never_taken_for_matmul(self):
+        g = fw.Graph()
+        with g.as_default():
+            x = ops.placeholder(fw.float32, [8, 8])
+            inter = ops.multiply(x, 2.0)
+            h = ops.tanh(inter)
+            y = ops.matmul(h, h)
+        plan = _plan_for([y, inter], [x])
+        rng = np.random.default_rng(3)
+        feed = rng.standard_normal((8, 8)).astype(np.float32)
+        out, kept = BoundPlan(plan, [x]).execute_flat([feed])
+        np.testing.assert_array_equal(kept, feed * 2.0)

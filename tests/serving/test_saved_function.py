@@ -282,7 +282,11 @@ def test_property_lantern_recursion_roundtrip(seed, depth, base,
     save(cf, path)
     loaded = load(path)
     tree = full_tree(int(depth), np.random.default_rng(seed))
+    # The live call takes `base` as a python float (float64 inside the
+    # compiled program) while the loaded artifact runs on the exported
+    # float32 spec — deep trees accumulate a ~1e-6 relative gap, so the
+    # comparison needs float32 tolerances (matches the sibling test).
     np.testing.assert_allclose(
         np.asarray(cf(base, tree).numpy()),
         np.asarray(loaded.call_flat([np.float32(base), tree]).numpy()),
-        rtol=1e-6)
+        rtol=1e-5, atol=1e-6)
