@@ -14,13 +14,17 @@ protocol:
      checkpoint;
   3. **load** — artifacts rehydrate into ``Executable``s without
      retracing (and without the training code);
-  4. **serve** — ``repro.serving.ModelServer`` exposes them over
-     HTTP/JSON, coalescing concurrent requests into micro-batches;
-  5. **clients** — threads hit the server concurrently and the batch
-     statistics show the coalescing at work;
-  6. **hot-swap** — ``POST /v1/models/<name>:swap_weights`` replaces the
-     served weights (and flips between registered versions) live, under
+  4. **serve** — ``repro.serving.ModelServer`` exposes them over HTTP
+     (binary tensor wire with JSON fallback), coalescing concurrent
+     requests into micro-batches;
+  5. **clients** — ``ServingClient`` threads hit the server
+     concurrently and the batch statistics show the coalescing at work;
+  6. **hot-swap** — ``client.swap_weights(...)`` replaces the served
+     weights (and flips between registered versions) live, under
      traffic, without a restart or a retrace.
+
+For the multi-process version of steps 4-6 — one socket, N worker
+processes, shared-memory weight swaps — see ``fleet_serving.py``.
 """
 
 import tempfile
@@ -31,7 +35,7 @@ import numpy as np
 import repro
 from repro import framework as fw
 from repro.framework import ops
-from repro.serving import ModelServer, client, load, save
+from repro.serving import ModelServer, ServingClient, load, save
 
 RNG = np.random.default_rng(7)
 N_FEATURES = 4
@@ -85,17 +89,18 @@ def main():
 
     # --- 4 + 5. serve it, hit it with concurrent clients ------------------
     server = ModelServer()
-    server.add_signature("regress", artifact,
-                         max_batch_size=8, batch_timeout=0.01)
+    batcher = {"max_batch_size": 8, "batch_timeout": 0.01}
+    server.register("regress", artifact, batcher=batcher)
     n_clients, n_requests = 8, 5
     errors = []
 
     def hit(i):
         rng = np.random.default_rng(100 + i)
+        c = ServingClient(server.url)  # binary wire, JSON fallback
         try:
             for _ in range(n_requests):
                 x1 = rng.normal(size=(N_FEATURES,)).astype(np.float32)
-                reply = client.predict(server.url, "regress", [x1.tolist()])
+                reply = c.predict("regress", [x1])
                 want = float(x1 @ W_TRUE[:, 0] + B_TRUE)
                 got = float(np.asarray(reply["outputs"][0]).reshape(()))
                 assert abs(got - want) < 1e-2, (got, want)
@@ -106,29 +111,30 @@ def main():
     swap_path = tempfile.mkdtemp(prefix="repro-saved-v2-")
     save(predict, swap_path, repro.TensorSpec([None, N_FEATURES], "float32"),
          freeze=False)  # graph + named weight checkpoint, not frozen
-    server.add_version("regress", load(swap_path), version="2",
-                       max_batch_size=8, batch_timeout=0.01)
+    server.register("regress", load(swap_path), version="2",
+                    batcher=batcher)
 
     with server:
+        client = ServingClient(server.url)
         threads = [threading.Thread(target=hit, args=(i,))
                    for i in range(n_clients)]
         for t in threads:
             t.start()
         for t in threads:
             t.join()
-        v1_stats = client.list_models(server.url)["models"]["regress"]
+        v1_stats = client.list_models()["models"]["regress"]
         v1_batches = v1_stats["batch_stats"]
         assert v1_batches["requests"] == n_clients * n_requests
 
         # Activate version 2 (a pointer swap: zero retraces), then push
-        # doubled weights into it while the server keeps running.
-        client.swap_weights(server.url, "regress", version="2")
+        # doubled weights into it while the server keeps running.  The
+        # binary wire carries the ndarrays as raw buffers.
+        client.swap_weights("regress", version="2")
         reply = client.swap_weights(
-            server.url, "regress",
-            weights={"w": (2.0 * W_TRUE).tolist(), "b": float(2.0 * B_TRUE)})
+            "regress",
+            weights={"w": 2.0 * W_TRUE, "b": np.float32(2.0 * B_TRUE)})
         probe2 = np.ones(N_FEATURES, np.float32)
-        doubled = client.predict(
-            server.url, "regress", [probe2.tolist()])
+        doubled = client.predict("regress", [probe2])
         want2 = 2.0 * float(probe2 @ W_TRUE[:, 0] + B_TRUE)
         got2 = float(np.asarray(doubled["outputs"][0]).reshape(()))
         assert abs(got2 - want2) < 2e-2, (got2, want2)
@@ -137,7 +143,7 @@ def main():
               f"weights {reply['swapped']}: predicts {got2:.4f} "
               f"(want {want2:.4f})")
 
-        stats = client.list_models(server.url)["models"]["regress"]
+        stats = client.list_models()["models"]["regress"]
     assert not errors, errors
     latency = stats["latency"]
     print(f"served {stats['requests']} requests "

@@ -514,6 +514,10 @@ class ConcreteFunction(Executable):
         result, _ = self._run(tensor_values, self._resolved_captures())
         return result
 
+    def engine_stats(self):
+        """Bound-plan info for serving observability (one dict, cheap)."""
+        return {"bound_plan": self._bound.describe()}
+
     def _current_bound(self):
         """The bound plan, recompiled if the graph grew since binding.
 

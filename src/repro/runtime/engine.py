@@ -46,7 +46,7 @@ class BoundPlan:
     """An :class:`~repro.runtime.plan.ExecutionPlan` bound to a fixed
     positional argument order."""
 
-    __slots__ = ("plan", "scheduler", "_arg_binds", "_n_args")
+    __slots__ = ("plan", "scheduler", "calls", "_arg_binds", "_n_args")
 
     def __init__(self, plan, arg_tensors, scheduler=None):
         """Bind ``arg_tensors`` (the plan's feed tensors, in the order
@@ -83,10 +83,27 @@ class BoundPlan:
         self.scheduler = scheduler
         self._arg_binds = tuple(binds)
         self._n_args = len(binds)
+        # Lifetime execute_flat count.  Updated without a lock: one
+        # CPython int add on a path that already runs the kernel loop,
+        # so the serving-observability counter is approximate under
+        # threads rather than a contention point.
+        self.calls = 0
 
     @property
     def graph_version(self):
         return self.plan.graph_version
+
+    def describe(self):
+        """Observability snapshot: how big the bound plan is and how
+        often it has run (surfaced in ``GET /v1/models``)."""
+        plan = self.plan
+        return {
+            "args": self._n_args,
+            "steps": len(plan.steps),
+            "levels": len(plan.levels),
+            "calls": self.calls,
+            "graph_version": plan.graph_version,
+        }
 
     def execute_flat(self, args):
         """Run the plan on positional argument values; returns the flat
@@ -104,6 +121,7 @@ class BoundPlan:
                 f"Bound plan takes {self._n_args} positional values, "
                 f"got {len(args)}"
             )
+        self.calls += 1
         plan = self.plan
         values = list(plan.base_values)
         for (slot, np_dtype, exact, partial, name), a in zip(

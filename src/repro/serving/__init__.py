@@ -1,6 +1,6 @@
 """``repro.serving``: taking traced functions out of the process.
 
-Three layers, all speaking the backend-neutral
+Layers, all speaking the backend-neutral
 :class:`~repro.function.Executable` protocol, so a signature traced via
 ``backend="graph"`` and one lowered via ``backend="lantern"`` are
 interchangeable everywhere here:
@@ -13,25 +13,45 @@ interchangeable everywhere here:
 - :class:`MicroBatcher` — dynamic micro-batching: concurrent
   same-signature calls coalesce along a batch axis (pad + stack, split
   results) under ``max_batch_size`` / ``batch_timeout`` control, with
-  bounded-queue backpressure (``max_queue`` / :class:`QueueFullError`);
-- :class:`ModelServer` — a threaded HTTP/JSON front routing named
-  signatures through the batcher to either backend, serving N versions
-  side by side with live, zero-retrace weight/version swaps
-  (``POST /v1/models/<name>:swap_weights``) and per-signature latency
-  stats in ``GET /v1/models``.
+  two priority lanes and bounded-queue backpressure (``max_queue`` /
+  :class:`QueueFullError`);
+- :mod:`repro.serving.wire` — the length-prefixed binary tensor wire
+  format (``application/x-repro-tensor``): dtype/shape header + raw
+  buffers, decoded zero-copy; JSON stays the fallback;
+- :class:`ModelServer` — a threaded HTTP front routing named signatures
+  (registered via the unified ``server.register(...)``) through the
+  batcher to either backend, serving N versions side by side with live,
+  zero-retrace weight/version swaps, canary traffic splits, uniform
+  ``{"error": {"code", "message"}}`` replies, load shedding and
+  per-signature latency stats in ``GET /v1/models``;
+- :class:`FleetServer` (:mod:`repro.serving.fleet`) — N prefork worker
+  processes behind one shared socket, weights held once per fleet in
+  :mod:`~repro.serving.shm_store` shared-memory generations so
+  hot-swaps stay atomic and zero-copy fleet-wide;
+- :class:`~repro.serving.client.ServingClient` — the stdlib client:
+  wire negotiation, transport retries, typed errors mapped from the
+  envelope.
 """
 
-from . import client, saved_function
+from . import client, fleet, saved_function, shm_store, wire
 from .batching import MicroBatcher, QueueFullError
+from .client import ServingClient
+from .fleet import FleetServer
 from .saved_function import load, save
-from .server import ModelServer
+from .server import ActiveVersionError, ModelServer
 
 __all__ = [
+    "ActiveVersionError",
+    "FleetServer",
     "MicroBatcher",
     "ModelServer",
     "QueueFullError",
+    "ServingClient",
     "client",
+    "fleet",
     "load",
     "save",
     "saved_function",
+    "shm_store",
+    "wire",
 ]

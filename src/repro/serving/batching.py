@@ -25,6 +25,12 @@ The wrapped executable must therefore be batch-polymorphic along
 ``batch_axis`` (trace it with that dimension as ``None``).  Outputs are
 assumed to carry the batch axis too — a scalar output (e.g. a loss
 reduced over the batch) cannot be split and raises.
+
+Two *priority lanes* ride on the queue: ``submit(..., priority="high")``
+requests are drained ahead of the normal lane (they still co-batch with
+whatever else is waiting), and under load shedding the normal lane is
+shed first — high-priority traffic keeps flowing into a 50% headroom
+above ``max_queue`` while bulk traffic is already being 503'd.
 """
 
 from __future__ import annotations
@@ -43,7 +49,8 @@ __all__ = ["BatchStats", "MicroBatcher", "QueueFullError"]
 
 
 BatchStats = collections.namedtuple(
-    "BatchStats", ["requests", "batches", "max_batch_size", "rejected"])
+    "BatchStats",
+    ["requests", "batches", "max_batch_size", "rejected", "high_priority"])
 
 
 class QueueFullError(RuntimeError):
@@ -118,11 +125,14 @@ class MicroBatcher:
 
         self._cond = threading.Condition()
         self._pending = collections.deque()
+        # The high lane: drained ahead of _pending, shed after it.
+        self._priority_pending = collections.deque()
         self._closed = False
         self._n_requests = 0
         self._n_batches = 0
         self._max_seen = 0
         self._n_rejected = 0
+        self._n_high = 0
         self._worker = threading.Thread(
             target=self._loop, name="repro-microbatcher", daemon=True)
         self._worker.start()
@@ -136,12 +146,27 @@ class MicroBatcher:
     def __call__(self, *flat_inputs):
         return self.submit(list(flat_inputs))
 
-    def submit(self, flat_inputs):
+    def queue_depth(self):
+        """Waiting (not yet executing) requests across both lanes."""
+        with self._cond:
+            return len(self._pending) + len(self._priority_pending)
+
+    def submit(self, flat_inputs, priority="normal"):
         """Enqueue one example; blocks until its slice of a batch result.
 
         ``flat_inputs`` holds one value per signature entry, shaped
         *without* the batch axis (the batcher adds it by stacking).
+
+        ``priority="high"`` puts the request on the high lane: the
+        worker drains it ahead of the normal lane, and under load
+        shedding (``max_queue``) the normal lane is shed first — high
+        requests are still admitted into a 50% headroom above
+        ``max_queue`` before they too are rejected.
         """
+        if priority not in ("normal", "high"):
+            raise ValueError(
+                f"priority must be 'normal' or 'high', got {priority!r}"
+            )
         if len(flat_inputs) != self._n_args:
             raise ValueError(
                 f"{self._executable.name!r} takes {self._n_args} "
@@ -151,15 +176,23 @@ class MicroBatcher:
         with self._cond:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed")
-            if (self._max_queue is not None
-                    and len(self._pending) >= self._max_queue):
-                self._n_rejected += 1
-                raise QueueFullError(
-                    f"{self._executable.name!r} batch queue is full "
-                    f"({self._max_queue} requests waiting); retry later "
-                    "or raise max_queue"
-                )
-            self._pending.append(request)
+            if self._max_queue is not None:
+                depth = len(self._pending) + len(self._priority_pending)
+                bound = self._max_queue
+                if priority == "high":
+                    bound += max(1, self._max_queue // 2)
+                if depth >= bound:
+                    self._n_rejected += 1
+                    raise QueueFullError(
+                        f"{self._executable.name!r} batch queue is full "
+                        f"({depth} requests waiting, {priority} lane sheds "
+                        f"at {bound}); retry later or raise max_queue"
+                    )
+            if priority == "high":
+                self._priority_pending.append(request)
+                self._n_high += 1
+            else:
+                self._pending.append(request)
             self._cond.notify_all()
         if not request.event.wait(self._timeout):
             raise TimeoutError(
@@ -174,7 +207,8 @@ class MicroBatcher:
     def stats(self):
         with self._cond:
             return BatchStats(self._n_requests, self._n_batches,
-                              self._max_seen, self._n_rejected)
+                              self._max_seen, self._n_rejected,
+                              self._n_high)
 
     @property
     def average_batch_size(self):
@@ -204,18 +238,25 @@ class MicroBatcher:
                 return
             self._execute(batch)
 
+    def _pop_next(self):
+        """The next queued request, high lane first (not thread-safe:
+        callers hold ``_cond``)."""
+        if self._priority_pending:
+            return self._priority_pending.popleft()
+        return self._pending.popleft()
+
     def _gather(self):
         """Block for the first request, then coalesce until full/timeout."""
         with self._cond:
-            while not self._pending:
+            while not (self._pending or self._priority_pending):
                 if self._closed:
                     return []
                 self._cond.wait()
-            batch = [self._pending.popleft()]
+            batch = [self._pop_next()]
             deadline = time.monotonic() + self._batch_timeout
             while len(batch) < self._max_batch_size:
-                if self._pending:
-                    batch.append(self._pending.popleft())
+                if self._pending or self._priority_pending:
+                    batch.append(self._pop_next())
                     continue
                 remaining = deadline - time.monotonic()
                 if remaining <= 0 or self._closed:

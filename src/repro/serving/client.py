@@ -1,86 +1,311 @@
 """A tiny stdlib client for :class:`~repro.serving.ModelServer`.
 
 Kept dependency-free (``urllib``) so examples, benchmarks and user code
-can hit a server without an HTTP library; it is also the documentation
-of the wire format, in code form.
+can hit a server — or a :class:`~repro.serving.fleet.FleetServer` —
+without an HTTP library; it is also the documentation of the wire
+format, in code form.
+
+The surface is :class:`ServingClient`::
+
+    client = ServingClient(server.url)
+    client.predict("score", [[1.0, 2.0, 3.0, 4.0]])
+    client.swap_weights("score", weights={"w": new_w})
+    client.set_canary("score", version="2", fraction=0.1)
+
+By default (``wire="auto"``) tensor payloads travel as the binary wire
+format (:mod:`repro.serving.wire` — dtype/shape header + raw buffers,
+no JSON number printing/parsing) and fall back to JSON if the server
+replies 415; ``wire="json"`` forces JSON end-to-end.  Transport-level
+failures (connection refused/reset mid-restart) retry with exponential
+backoff; HTTP *error replies* do not retry — they surface as typed
+exceptions mapped from the server's error envelope
+(``{"error": {"code", "message"}}``):
+
+- ``not_found`` → :class:`UnknownModelError` (404)
+- ``queue_full`` → :class:`QueueFullError` (503, carries
+  ``retry_after``) — the client-side twin of
+  :class:`repro.serving.QueueFullError`
+- ``active_version`` → :class:`ActiveVersionError` (409)
+- anything else → :class:`ServingError` (the base, carries ``status``
+  and ``code``)
+
+The original free functions (``predict(base_url, ...)`` etc.) remain as
+deprecated wrappers over a JSON-wire client.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import time
 import urllib.error
 import urllib.request
+import warnings
 
-__all__ = ["ServingError", "list_models", "predict", "remove_version",
-           "swap_weights"]
+from . import wire
+
+__all__ = [
+    "ActiveVersionError",
+    "QueueFullError",
+    "ServingClient",
+    "ServingError",
+    "UnknownModelError",
+    "list_models",
+    "predict",
+    "remove_version",
+    "swap_weights",
+]
 
 
 class ServingError(RuntimeError):
-    """A server-side error reply (carries the HTTP status)."""
+    """A server-side error reply (carries HTTP status + envelope code)."""
 
-    def __init__(self, status, message):
+    def __init__(self, status, message, code=None, retry_after=None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.code = code
+        #: Seconds the server advised waiting before a retry (503 only).
+        self.retry_after = retry_after
 
 
-def _request(url, data=None, timeout=10.0, method=None):
-    req = urllib.request.Request(
-        url,
-        data=None if data is None else json.dumps(data).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
-        method=method,
-    )
+class UnknownModelError(ServingError):
+    """404: no such signature/version/route on the server."""
+
+
+class QueueFullError(ServingError):
+    """503: the server shed this request; back off ``retry_after``s."""
+
+
+class ActiveVersionError(ServingError):
+    """409: refused to remove the version currently serving traffic."""
+
+
+_ERROR_TYPES = {
+    "not_found": UnknownModelError,
+    "queue_full": QueueFullError,
+    "active_version": ActiveVersionError,
+}
+
+#: Transport failures worth retrying: the request may never have reached
+#: a healthy worker (connect refused during restart, worker recycled
+#: mid-keepalive).  HTTP error *replies* are never retried here.
+_RETRYABLE = (ConnectionError, http.client.RemoteDisconnected, TimeoutError)
+
+
+def _jsonify(value):
+    """Nested-list the tensor leaves for the JSON wire (ndarrays /
+    anything with ``.tolist`` or ``.numpy``)."""
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None and not isinstance(value, (str, bytes)):
+        return tolist()
+    numpy_fn = getattr(value, "numpy", None)
+    if numpy_fn is not None:
+        return numpy_fn().tolist()
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def _raise_serving_error(status, body, headers):
+    """Map an error reply body onto the typed exception hierarchy.
+
+    Lenient on shape: the uniform envelope is
+    ``{"error": {"code", "message"}}``, but pre-envelope servers sent
+    ``{"error": "<text>"}`` and a dying worker may send no JSON at all.
+    """
+    code, message = None, ""
     try:
-        with urllib.request.urlopen(req, timeout=timeout) as resp:
-            return json.loads(resp.read().decode("utf-8"))
-    except urllib.error.HTTPError as e:
+        envelope = json.loads(body.decode("utf-8")).get("error", "")
+        if isinstance(envelope, dict):
+            code = envelope.get("code")
+            message = envelope.get("message", "")
+        else:
+            message = envelope
+    except Exception:  # noqa: BLE001 - error-path best effort
+        message = body.decode("utf-8", "replace")[:200]
+    retry_after = None
+    if headers is not None:
+        value = headers.get("Retry-After")
+        if value is not None:
+            try:
+                retry_after = float(value)
+            except ValueError:
+                pass
+    cls = _ERROR_TYPES.get(code, ServingError)
+    raise cls(status, message, code=code, retry_after=retry_after) from None
+
+
+class ServingClient:
+    """A connection-config-carrying client for the serving routes.
+
+    Args:
+      base_url: e.g. ``server.url`` / ``fleet.url``.
+      timeout: per-request socket timeout in seconds.
+      retries: how many times to re-send after a *transport* failure
+        (connection refused/reset; HTTP error replies never retry).
+      backoff: first retry delay in seconds; doubles per attempt.
+      wire: ``"auto"`` (binary tensor wire, falling back to JSON if the
+        server replies 415) or ``"json"`` (JSON end-to-end).
+    """
+
+    def __init__(self, base_url, *, timeout=10.0, retries=2, backoff=0.05,
+                 wire="auto"):
+        if wire not in ("auto", "json"):
+            raise ValueError(f"wire must be 'auto' or 'json', got {wire!r}")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        # Downgrades to "json" (sticky) on the first 415 when "auto".
+        self._wire = wire
+
+    # -- routes ------------------------------------------------------------
+
+    def list_models(self):
+        """``GET /v1/models``: every served signature's metadata (plus
+        fleet-wide worker stats when talking to a fleet)."""
+        return self._call("/v1/models")
+
+    def describe(self, name):
+        """``GET /v1/models/<name>``: one signature's metadata."""
+        return self._call(f"/v1/models/{name}")
+
+    def predict(self, name, inputs, priority=None):
+        """``POST /v1/models/<name>:predict`` with one value per
+        signature entry; ``priority="high"`` routes onto the batcher's
+        high lane (drained first, shed last)."""
+        headers = {}
+        if priority is not None:
+            headers["X-Repro-Priority"] = priority
+        return self._call(f"/v1/models/{name}:predict",
+                          data={"inputs": inputs}, headers=headers)
+
+    def swap_weights(self, name, weights=None, version=None):
+        """``POST /v1/models/<name>:swap_weights``: live model
+        management with zero retraces.
+
+        ``weights`` replaces capture values (name -> arrays) on the
+        target (default: active) version; ``version`` activates a
+        registered version label.  Against a fleet, one call updates
+        every worker atomically (shared-memory generation bump).
+        """
+        data = {}
+        if weights is not None:
+            data["weights"] = weights
+        if version is not None:
+            data["version"] = version
+        return self._call(f"/v1/models/{name}:swap_weights", data=data)
+
+    def set_canary(self, name, version=None, fraction=0.0):
+        """``POST /v1/models/<name>:canary``: split ``fraction`` of
+        predict traffic onto ``version``; ``fraction=0`` clears."""
+        return self._call(f"/v1/models/{name}:canary",
+                          data={"version": version, "fraction": fraction})
+
+    def remove_version(self, name, version):
+        """``DELETE /v1/models/<name>/versions/<version>``: unload an
+        inactive version.  Deleting the active version raises
+        :class:`ActiveVersionError` — activate another first."""
+        return self._call(f"/v1/models/{name}/versions/{version}",
+                          method="DELETE")
+
+    # -- transport ---------------------------------------------------------
+
+    def _call(self, path, data=None, method=None, headers=None):
+        attempt = 0
+        while True:
+            try:
+                return self._send(path, data, method, headers)
+            except ServingError as e:
+                if e.status == 415 and self._wire == "auto":
+                    # Talking to a JSON-only server: downgrade once,
+                    # stay downgraded.
+                    self._wire = "json"
+                    continue
+                raise
+            except urllib.error.URLError as e:
+                if isinstance(e, urllib.error.HTTPError):
+                    raise  # error replies are handled in _send
+                if attempt >= self.retries:
+                    raise
+            except _RETRYABLE:
+                if attempt >= self.retries:
+                    raise
+            time.sleep(self.backoff * (2 ** attempt))
+            attempt += 1
+
+    def _send(self, path, data, method, headers):
+        all_headers = dict(headers or ())
+        body = None
+        if data is not None:
+            if self._wire == "auto":
+                body = wire.encode(data)
+                all_headers["Content-Type"] = wire.CONTENT_TYPE
+            else:
+                body = json.dumps(_jsonify(data)).encode("utf-8")
+                all_headers["Content-Type"] = "application/json"
+        if self._wire == "auto":
+            all_headers["Accept"] = wire.CONTENT_TYPE
+        req = urllib.request.Request(
+            self.base_url + path, data=body, headers=all_headers,
+            method=method)
         try:
-            message = json.loads(e.read().decode("utf-8")).get("error", "")
-        except Exception:  # noqa: BLE001 - error-path best effort
-            message = e.reason
-        raise ServingError(e.code, message) from None
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                raw = resp.read()
+                ctype = (resp.headers.get("Content-Type") or "").split(
+                    ";")[0].strip().lower()
+                if ctype == wire.CONTENT_TYPE:
+                    return wire.decode(raw)
+                return json.loads(raw.decode("utf-8"))
+        except urllib.error.HTTPError as e:
+            _raise_serving_error(e.code, e.read(), e.headers)
+
+
+# -- deprecated free-function surface -------------------------------------
+
+
+def _legacy(base_url, timeout):
+    # JSON wire: byte-for-byte the old free functions' behavior
+    # (nested-list outputs), minus the envelope change they tolerate.
+    return ServingClient(base_url, timeout=timeout, retries=0, wire="json")
 
 
 def list_models(base_url, timeout=10.0):
-    """``GET /v1/models``: every served signature's metadata."""
-    return _request(f"{base_url}/v1/models", timeout=timeout)
+    """Deprecated: use :meth:`ServingClient.list_models`."""
+    warnings.warn(
+        "repro.serving.client.list_models is deprecated; use "
+        "ServingClient(base_url).list_models()",
+        DeprecationWarning, stacklevel=2)
+    return _legacy(base_url, timeout).list_models()
 
 
 def predict(base_url, name, inputs, timeout=10.0):
-    """``POST /v1/models/<name>:predict`` with one value per signature
-    entry (nested lists); returns the decoded JSON reply."""
-    return _request(
-        f"{base_url}/v1/models/{name}:predict",
-        data={"inputs": inputs},
-        timeout=timeout,
-    )
+    """Deprecated: use :meth:`ServingClient.predict`."""
+    warnings.warn(
+        "repro.serving.client.predict is deprecated; use "
+        "ServingClient(base_url).predict(name, inputs)",
+        DeprecationWarning, stacklevel=2)
+    return _legacy(base_url, timeout).predict(name, inputs)
 
 
 def swap_weights(base_url, name, weights=None, version=None, timeout=10.0):
-    """``POST /v1/models/<name>:swap_weights``: live model management.
-
-    ``weights`` replaces capture values (name -> nested lists) on the
-    target (default: active) version; ``version`` activates a registered
-    version label.  Both are zero-retrace operations.
-    """
-    data = {}
-    if weights is not None:
-        data["weights"] = weights
-    if version is not None:
-        data["version"] = version
-    return _request(
-        f"{base_url}/v1/models/{name}:swap_weights",
-        data=data,
-        timeout=timeout,
-    )
+    """Deprecated: use :meth:`ServingClient.swap_weights`."""
+    warnings.warn(
+        "repro.serving.client.swap_weights is deprecated; use "
+        "ServingClient(base_url).swap_weights(name, ...)",
+        DeprecationWarning, stacklevel=2)
+    return _legacy(base_url, timeout).swap_weights(
+        name, weights=weights, version=version)
 
 
 def remove_version(base_url, name, version, timeout=10.0):
-    """``DELETE /v1/models/<name>/versions/<version>``: unload an
-    inactive version (version GC).  Deleting the active version is a
-    409-``ServingError`` — activate another version first."""
-    return _request(
-        f"{base_url}/v1/models/{name}/versions/{version}",
-        timeout=timeout,
-        method="DELETE",
-    )
+    """Deprecated: use :meth:`ServingClient.remove_version`."""
+    warnings.warn(
+        "repro.serving.client.remove_version is deprecated; use "
+        "ServingClient(base_url).remove_version(name, version)",
+        DeprecationWarning, stacklevel=2)
+    return _legacy(base_url, timeout).remove_version(name, version)

@@ -266,6 +266,50 @@ class _LoadedGraphExecutable(LoadedExecutable):
                 state[i] = value
             self._capture_state = tuple(state)
 
+    def capture_specs(self):
+        """``[(name, np.dtype, static shape)]`` per capture, in state
+        order — what a shared-memory store needs to validate a rebind."""
+        return [
+            (name, ph.dtype.np_dtype, ph.shape.dims)
+            for name, ph in zip(self._capture_names, self._capture_inputs)
+        ]
+
+    def set_capture_state(self, arrays):
+        """Rebind the *whole* capture tuple to ``arrays`` without copying.
+
+        The fleet's shared-memory hot-swap path: ``arrays`` are typically
+        read-only ndarray views into one shared generation segment, and
+        this method validates dtype/shape then performs the same single
+        atomic tuple rebind as :meth:`set_capture_values` — but with zero
+        per-worker copies (``set_capture_values`` casts through
+        ``np.asarray`` per capture, which would materialize every weight
+        matrix N times fleet-wide).
+        """
+        arrays = tuple(arrays)
+        if len(arrays) != len(self._capture_names):
+            raise ValueError(
+                f"{self.name!r} has {len(self._capture_names)} captures, "
+                f"got {len(arrays)} arrays"
+            )
+        for name, ph, value in zip(self._capture_names,
+                                   self._capture_inputs, arrays):
+            if value.dtype != ph.dtype.np_dtype:
+                raise ValueError(
+                    f"Capture {name!r} expects dtype "
+                    f"{ph.dtype.np_dtype}, got {value.dtype}"
+                )
+            if not ph.shape.is_compatible_with(value.shape):
+                raise ValueError(
+                    f"Capture {name!r} expects shape {ph.shape}, "
+                    f"got {value.shape}"
+                )
+        with self._swap_lock:
+            self._capture_state = arrays
+
+    def engine_stats(self):
+        """Bound-plan info for serving observability."""
+        return {"bound_plan": self._bound.describe()}
+
     def call_flat(self, flat_args):
         args = self._cast_args(flat_args)
         if self._capture_inputs:
@@ -356,6 +400,31 @@ class _LoadedLanternExecutable(LoadedExecutable):
             # already read the old array keeps a consistent tensor.
             values[param] = value
             self._compiled.params[param].value = value
+
+    def capture_specs(self):
+        """``[(name, np.dtype, shape)]`` per capture, in state order."""
+        values = self._compiled.namespace["_P"]
+        return [
+            (name, values[param].dtype, values[param].shape)
+            for name, param in self._capture_to_param.items()
+        ]
+
+    def set_capture_state(self, arrays):
+        """Rebind every Param to ``arrays`` (:meth:`capture_specs` order).
+
+        Already-float32 ndarrays (e.g. shared-memory views) rebind
+        without copying.  Note lantern swaps are atomic *per tensor*:
+        the program reads each Param at use time, so a call overlapping
+        a swap may mix generations across different Params (the graph
+        backend's whole-tuple snapshot does not).
+        """
+        names = list(self._capture_to_param)
+        if len(arrays) != len(names):
+            raise ValueError(
+                f"{self.name!r} has {len(names)} captures, got "
+                f"{len(arrays)} arrays"
+            )
+        self.set_capture_values(dict(zip(names, arrays)))
 
     def call_flat(self, flat_args):
         out = self._compiled.namespace[self._entry](

@@ -1,49 +1,81 @@
-"""``ModelServer``: a threaded HTTP/JSON front over named executables.
+"""``ModelServer``: an HTTP front over named executables.
 
-Routes (JSON in, JSON out):
+Routes (JSON in/out by default; ``:predict`` and ``:swap_weights`` also
+speak the binary tensor wire format — send
+``Content-Type: application/x-repro-tensor`` bodies and/or
+``Accept: application/x-repro-tensor`` to skip JSON tensor encoding
+entirely, see :mod:`repro.serving.wire`):
 
 - ``GET /v1/models`` — every served signature: backend, input specs,
-  versions, batching configuration, request counts and latency stats;
+  versions, batching configuration, canary split, request counts,
+  latency stats and engine (bound-plan) info;
 - ``GET /v1/models/<name>`` — one signature's metadata;
 - ``POST /v1/models/<name>:predict`` with body ``{"inputs": [...]}`` —
-  one value per signature entry (nested lists); responds
-  ``{"outputs": [...], "backend": ..., "version": ...}`` with the
-  flattened result leaves;
+  one value per signature entry; responds ``{"outputs": [...],
+  "backend": ..., "version": ...}`` with the flattened result leaves.
+  An ``X-Repro-Priority: high`` header routes the request onto the
+  batcher's high lane (drained first, shed last);
 - ``POST /v1/models/<name>:swap_weights`` — live model management with
   **zero retraces**: body ``{"weights": {<capture>: values}}`` replaces
   the active version's capture values in place, body
   ``{"version": <label>}`` atomically activates another registered
   version, and both may be combined (swap then activate);
+- ``POST /v1/models/<name>:canary`` with ``{"version", "fraction"}`` —
+  split that fraction of predict traffic onto another registered
+  version (``fraction: 0`` clears the split);
 - ``DELETE /v1/models/<name>/versions/<version>`` — version GC: unload
   an *inactive* version (drains its batcher, drops its executable).
-  Deleting the active version is refused with 409 — activate another
-  version first.
+
+Every error reply carries one uniform envelope::
+
+    {"error": {"code": <machine code>, "message": <human text>}}
+
+with codes ``bad_request`` (400), ``not_found`` (404),
+``active_version`` (409), ``unsupported_media_type`` (415),
+``queue_full`` (503, with a ``Retry-After`` header) and ``internal``
+(500); :class:`repro.serving.client.ServingClient` maps them back onto a
+typed exception hierarchy.
+
+Registration goes through one entry point::
+
+    server.register(name, source, version=..., batcher=...)
+
+where ``source`` is an :class:`~repro.function.Executable`, a
+polymorphic :class:`~repro.function.Function` (select its signature with
+``signature=(specs...)``), or a saved-artifact *path* (loaded via
+:func:`~repro.serving.saved_function.load`).  Registering an existing
+name adds a version; ``batcher=`` is ``None`` (default micro-batching),
+``False`` (unbatched) or a dict of :class:`MicroBatcher` options.  The
+older ``add_signature`` / ``add_version`` methods remain as deprecated
+aliases.
 
 Each request is handled on its own thread (``ThreadingHTTPServer``);
-signatures registered with ``batch=True`` funnel through a per-version
+batched signatures funnel through a per-version
 :class:`~repro.serving.MicroBatcher`, so concurrent predict calls
-coalesce into single batched executions.  For batched signatures the
-request body carries a *single example* (no batch axis); unbatched
-signatures receive their inputs verbatim.  ``max_queue=`` bounds the
-per-version batch queue: requests arriving over the bound are rejected
-with HTTP 503 instead of growing the queue without limit.
+coalesce into single batched executions.  Load shedding is two-layered:
+the batcher's ``max_queue`` bounds queued work per signature, and
+``ModelServer(max_inflight=N)`` bounds concurrently executing predicts
+per process — both reject with 503 + ``Retry-After`` instead of
+queueing without limit.
 
-A signature may serve several *versions* side by side (``add_version``)
-— each version is its own executable (and batcher), so activating one
-is a single attribute rebind: in-flight requests finish on the version
-they started on, later requests see the new one, and nothing retraces.
-
-The executables behind the routes are anything implementing the
-backend-neutral protocol — live graph/lantern concrete functions or
-loaded :func:`~repro.serving.saved_function.load` artifacts — which is
-the point: one server, either backend, same wire format.
+A signature may serve several *versions* side by side — each version is
+its own executable (and batcher), so activating one is a single
+attribute rebind: in-flight requests finish on the version they started
+on, later requests see the new one, and nothing retraces.  For a
+multi-process front over the same routes, see
+:class:`repro.serving.fleet.FleetServer`, which runs N prefork workers
+(each one of these servers) behind a shared listening socket with
+weights in shared memory.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import random
 import threading
 import time
+import warnings
 from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -52,11 +84,12 @@ import numpy as np
 from ..framework import nest
 from ..framework.eager.tensor import EagerTensor
 from ..framework.errors import FrameworkError
-from ..function.executable import resolve_executable
+from ..function.executable import Executable, resolve_executable
 from ..function.tensor_spec import TensorSpec
+from . import wire
 from .batching import MicroBatcher, QueueFullError
 
-__all__ = ["ActiveVersionError", "ModelServer"]
+__all__ = ["ActiveVersionError", "ModelServer", "RETRY_AFTER_SECONDS"]
 
 
 class ActiveVersionError(ValueError):
@@ -69,6 +102,23 @@ class ActiveVersionError(ValueError):
 # Latency window: enough samples for a stable p99 without unbounded
 # growth under sustained traffic.
 _LATENCY_WINDOW = 2048
+
+#: Advised by 503 replies; load-shed clients should back off at least
+#: this long before retrying.
+RETRY_AFTER_SECONDS = 1
+
+#: MicroBatcher options a ``batcher=`` dict may carry.
+_BATCHER_KEYS = ("batch_axis", "max_batch_size", "batch_timeout",
+                 "pad_value", "max_queue")
+
+_DEFAULT_BATCHER = {"batch_axis": 0, "max_batch_size": 32,
+                    "batch_timeout": 0.002, "pad_value": None,
+                    "max_queue": None}
+
+
+def error_envelope(code, message):
+    """The one error body every route and status speaks."""
+    return {"error": {"code": code, "message": str(message)}}
 
 
 class _Version:
@@ -95,13 +145,15 @@ class _Version:
 
 
 class _Endpoint:
-    __slots__ = ("name", "versions", "active", "requests", "_lock",
-                 "_latencies", "_latency_count", "_latency_total")
+    __slots__ = ("name", "versions", "active", "canary", "requests",
+                 "_lock", "_latencies", "_latency_count", "_latency_total")
 
     def __init__(self, name):
         self.name = name
         self.versions = {}
         self.active = None
+        # (version label, fraction of predict traffic) or None.
+        self.canary = None
         self.requests = 0
         self._lock = threading.Lock()
         self._latencies = deque(maxlen=_LATENCY_WINDOW)
@@ -147,9 +199,21 @@ class _Endpoint:
                 f"Version {label!r} of {self.name!r} is the active "
                 "version; activate another version before removing it"
             )
+        if self.canary is not None and self.canary[0] == label:
+            self.canary = None
         return self.versions.pop(label)
 
     def active_version(self):
+        return self.versions[self.active]
+
+    def routed_version(self):
+        """The version this predict request executes on: the canary
+        version for its traffic fraction, the active version otherwise."""
+        canary = self.canary
+        if canary is not None and random.random() < canary[1]:
+            version = self.versions.get(canary[0])
+            if version is not None:
+                return version
         return self.versions[self.active]
 
     def record_latency(self, seconds):
@@ -192,6 +256,12 @@ class _Endpoint:
             "versions": sorted(self.versions),
             "active_version": self.active,
         }
+        if self.canary is not None:
+            info["canary"] = {"version": self.canary[0],
+                              "fraction": self.canary[1]}
+        engine_stats = getattr(executable, "engine_stats", None)
+        if engine_stats is not None:
+            info["engine"] = engine_stats()
         if version.batcher is not None:
             stats = version.batcher.stats
             info["batch_stats"] = {
@@ -199,6 +269,7 @@ class _Endpoint:
                 "requests": stats.requests,
                 "max_batch_size": stats.max_batch_size,
                 "rejected": stats.rejected,
+                "high_priority": stats.high_priority,
             }
         return info
 
@@ -209,49 +280,123 @@ class ModelServer:
     ::
 
         server = ModelServer()
-        server.add_signature("score", model_fn, spec)   # traces if needed
-        server.add_version("score", model_fn_v2, spec, version="2")
+        server.register("score", model_fn, signature=(spec,))
+        server.register("score", model_fn_v2, signature=(spec,),
+                        version="2")
         with server:                                     # start/stop
-            reply = repro.serving.client.predict(
-                server.url, "score", [[1.0, 2.0, 3.0, 4.0]])
-            client.swap_weights(server.url, "score", version="2")
+            client = repro.serving.ServingClient(server.url)
+            reply = client.predict("score", [[1.0, 2.0, 3.0, 4.0]])
+            client.swap_weights("score", version="2")
     """
 
-    def __init__(self, host="127.0.0.1", port=0):
+    def __init__(self, host="127.0.0.1", port=0, max_inflight=None):
+        """``max_inflight`` bounds concurrently *executing* predict
+        requests in this process; requests over the bound shed with 503
+        + ``Retry-After`` (``None`` = unbounded)."""
         self._host = host
         self._port = port
         self._endpoints = {}
         self._httpd = None
         self._thread = None
         self._swap_lock = threading.Lock()
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1 (or None)")
+        self._max_inflight = max_inflight
+        self._inflight_sem = (
+            None if max_inflight is None
+            else threading.BoundedSemaphore(max_inflight))
 
     # -- registration ------------------------------------------------------
 
-    def add_signature(self, name, fn, *args, batch=True, batch_axis=0,
-                      max_batch_size=32, batch_timeout=0.002,
-                      pad_value=None, max_queue=None, version="1", **kwargs):
-        """Route ``POST /v1/models/<name>:predict`` to ``fn``.
+    def register(self, name, source, *, signature=(), version="1",
+                 activate=None, batcher=None):
+        """The one registration entry point.
 
         Args:
-          name: URL-visible signature name.
-          fn: an :class:`~repro.function.Executable`, or a polymorphic
-            :class:`~repro.function.Function` — then ``*args``/
-            ``**kwargs`` (values or :class:`TensorSpec`s) select the
+          name: URL-visible signature name.  A new name creates the
+            endpoint; an existing name registers another *version* of it.
+          source: what to serve — an :class:`~repro.function.Executable`,
+            a polymorphic :class:`~repro.function.Function` (its
+            signature selected, and traced if needed, by ``signature=``),
+            or a saved-artifact path (``str`` / ``os.PathLike``, loaded
+            via :func:`~repro.serving.saved_function.load`).
+          signature: positional specs/values selecting a Function's
             signature, exactly like ``get_concrete_function``.
-          batch: coalesce concurrent requests through a
-            :class:`MicroBatcher`.  The executable must then be
-            batch-polymorphic along ``batch_axis`` and each request
-            carries one example without that axis.
-          batch_axis / max_batch_size / batch_timeout / pad_value:
-            :class:`MicroBatcher` knobs.
-          max_queue: per-signature queue bound — requests arriving while
-            this many are already waiting get HTTP 503 (backpressure)
-            instead of queueing without limit.  ``None`` = unbounded.
-          version: label for this first registered version.
+          version: label for this version (default ``"1"``).
+          activate: switch traffic to this version immediately.  Default
+            (``None``): the first registered version of a name becomes
+            active, later ones serve but do not take traffic.
+          batcher: ``None`` — micro-batch with default settings;
+            ``False`` — serve unbatched (requests carry full tensors);
+            a dict — :class:`MicroBatcher` options
+            (``batch_axis``, ``max_batch_size``, ``batch_timeout``,
+            ``pad_value``, ``max_queue``) overriding the defaults.
 
         Returns:
           The registered executable.
         """
+        if isinstance(source, (str, os.PathLike)):
+            from .saved_function import load
+
+            if signature:
+                raise TypeError(
+                    "register(path) takes no signature= (artifacts are "
+                    "already one concrete signature)"
+                )
+            executable = load(source)
+        elif isinstance(source, Executable):
+            executable = resolve_executable(source, (), {}, "register")
+        else:
+            executable = resolve_executable(
+                source, tuple(signature), {}, "register")
+        return self._register_executable(
+            name, executable, version=version, activate=activate,
+            batch_config=self._batch_config(batcher))
+
+    @staticmethod
+    def _batch_config(batcher):
+        if batcher is False:
+            return None
+        if batcher is None:
+            return dict(_DEFAULT_BATCHER)
+        if isinstance(batcher, dict):
+            unknown = set(batcher) - set(_BATCHER_KEYS)
+            if unknown:
+                raise TypeError(
+                    f"Unknown batcher option(s) {sorted(unknown)}; "
+                    f"valid: {list(_BATCHER_KEYS)}"
+                )
+            return {**_DEFAULT_BATCHER, **batcher}
+        raise TypeError(
+            f"batcher must be None, False or a dict of MicroBatcher "
+            f"options, got {type(batcher).__name__}"
+        )
+
+    def _register_executable(self, name, executable, *, version, activate,
+                             batch_config):
+        endpoint = self._endpoints.get(name)
+        if endpoint is None:
+            endpoint = _Endpoint(name)
+            self._endpoints[name] = endpoint
+        endpoint.add_version(str(version), executable, batch_config,
+                             running=self._httpd is not None)
+        if activate:
+            endpoint.activate(str(version))
+        executable._mark_served(name)
+        return executable
+
+    def add_signature(self, name, fn, *args, batch=True, batch_axis=0,
+                      max_batch_size=32, batch_timeout=0.002,
+                      pad_value=None, max_queue=None, version="1", **kwargs):
+        """Deprecated: use :meth:`register`.
+
+        Kept as a thin alias (same semantics, including refusing an
+        already-registered name).
+        """
+        warnings.warn(
+            "ModelServer.add_signature is deprecated; use "
+            "server.register(name, source, version=..., batcher=...)",
+            DeprecationWarning, stacklevel=2)
         if name in self._endpoints:
             raise ValueError(f"Signature {name!r} is already registered")
         executable = resolve_executable(fn, args, kwargs, "add_signature")
@@ -262,31 +407,23 @@ class ModelServer:
                             "batch_timeout": batch_timeout,
                             "pad_value": pad_value,
                             "max_queue": max_queue}
-        endpoint = _Endpoint(name)
-        endpoint.add_version(str(version), executable, batch_config,
-                             running=self._httpd is not None)
-        self._endpoints[name] = endpoint
-        executable._mark_served(name)
-        return executable
+        return self._register_executable(
+            name, executable, version=version, activate=None,
+            batch_config=batch_config)
 
     def add_version(self, name, fn, *args, version, activate=False,
                     batch=True, batch_axis=0, max_batch_size=32,
                     batch_timeout=0.002, pad_value=None, max_queue=None,
                     **kwargs):
-        """Register another executable version under an existing name.
-
-        The new version serves immediately at
-        ``POST /v1/models/<name>:swap_weights`` ``{"version": <label>}``
-        time — it is compiled/loaded *now*, so activation later is a
-        zero-retrace pointer swap.  ``activate=True`` switches to it
-        right away.
-
-        Returns:
-          The registered executable.
-        """
-        endpoint = self._endpoints.get(name)
-        if endpoint is None:
-            raise KeyError(f"No signature {name!r}; add_signature it first")
+        """Deprecated: use :meth:`register` with an existing ``name``."""
+        warnings.warn(
+            "ModelServer.add_version is deprecated; use "
+            "server.register(name, source, version=..., batcher=...)",
+            DeprecationWarning, stacklevel=2)
+        if name not in self._endpoints:
+            raise KeyError(
+                f"No signature {name!r}; register it first (register or "
+                "add_signature)")
         executable = resolve_executable(fn, args, kwargs, "add_version")
         batch_config = None
         if batch:
@@ -295,12 +432,9 @@ class ModelServer:
                             "batch_timeout": batch_timeout,
                             "pad_value": pad_value,
                             "max_queue": max_queue}
-        endpoint.add_version(str(version), executable, batch_config,
-                             running=self._httpd is not None)
-        if activate:
-            endpoint.activate(str(version))
-        executable._mark_served(name)
-        return executable
+        return self._register_executable(
+            name, executable, version=version, activate=activate,
+            batch_config=batch_config)
 
     def remove_version(self, name, version):
         """Unload (garbage-collect) an *inactive* version of ``name``.
@@ -310,7 +444,8 @@ class ModelServer:
         keep registering new versions.  The active version is refused
         with :class:`ActiveVersionError` (HTTP 409 over the wire):
         activate another version first, so traffic never loses its
-        target.  Requests that snapshotted the version before removal
+        target.  A canary split pointing at the removed version is
+        cleared.  Requests that snapshotted the version before removal
         finish on it; remove after traffic has drained off the version
         for a clean cut.
 
@@ -331,6 +466,49 @@ class ModelServer:
             "active_version": endpoint.active,
         }
 
+    def set_canary(self, name, version=None, fraction=0.0):
+        """Split ``fraction`` of ``name``'s predict traffic onto
+        ``version`` (the canary); ``fraction=0`` clears the split.
+
+        Both versions keep serving: each predict draws once, executes on
+        exactly one version (never a mix), and reports which in its
+        ``"version"`` reply field — measuring the split, and the canary's
+        behavior, is just counting replies.
+        """
+        endpoint = self._endpoints.get(name)
+        if endpoint is None:
+            raise KeyError(f"No signature {name!r}")
+        try:
+            fraction = float(fraction)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"canary fraction must be a number in [0, 1], got "
+                f"{fraction!r}") from None
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(
+                f"canary fraction must be within [0, 1], got {fraction}"
+            )
+        with self._swap_lock:
+            if fraction == 0.0:
+                endpoint.canary = None
+            else:
+                if version is None:
+                    raise ValueError(
+                        "a nonzero canary fraction needs a version label"
+                    )
+                label = str(version)
+                if label not in endpoint.versions:
+                    raise ValueError(
+                        f"{name!r} has no version {label!r}; registered: "
+                        f"{sorted(endpoint.versions)}"
+                    )
+                endpoint.canary = (label, fraction)
+        return {
+            "model": name,
+            "canary": None if endpoint.canary is None else
+            {"version": endpoint.canary[0], "fraction": endpoint.canary[1]},
+        }
+
     # -- lifecycle ---------------------------------------------------------
 
     @property
@@ -340,15 +518,18 @@ class ModelServer:
         host, port = self._httpd.server_address[:2]
         return f"http://{host}:{port}"
 
-    def start(self):
-        """Bind and serve on a daemon thread; returns the base URL."""
-        if self._httpd is not None:
-            raise RuntimeError("ModelServer is already running")
+    def _ensure_batchers(self):
         # A restarted server gets fresh batchers (stop() drained the old
         # ones) so batched signatures stay batched across restarts.
         for endpoint in self._endpoints.values():
             for version in endpoint.versions.values():
                 version.ensure_batcher()
+
+    def start(self):
+        """Bind and serve on a daemon thread; returns the base URL."""
+        if self._httpd is not None:
+            raise RuntimeError("ModelServer is already running")
+        self._ensure_batchers()
         handler = _make_handler(self)
         self._httpd = ThreadingHTTPServer((self._host, self._port), handler)
         self._httpd.daemon_threads = True
@@ -378,25 +559,52 @@ class ModelServer:
         self.stop()
         return False
 
+    # -- fleet hooks (overridden by fleet workers) -------------------------
+
+    def _sync_endpoint(self, name):
+        """Pull fleet-shared state (active version, canary, weight
+        generation) before touching ``name``; no-op standalone."""
+
+    def _fleet_info(self):
+        """Extra fleet-wide observability for ``GET /v1/models``."""
+        return {}
+
+    def _request_served(self):
+        """Post-request hook (fleet workers publish stats here)."""
+
     # -- request plumbing (called from handler threads) --------------------
 
     def _describe_all(self):
-        return {
+        for name in self._endpoints:
+            self._sync_endpoint(name)
+        doc = {
             "models": {
                 name: ep.describe() for name, ep in self._endpoints.items()
             }
         }
+        doc.update(self._fleet_info())
+        return doc
 
-    def _predict(self, name, body):
+    def _describe_one(self, name):
         endpoint = self._endpoints.get(name)
         if endpoint is None:
             raise KeyError(name)
+        self._sync_endpoint(name)
+        return {name: endpoint.describe()}
+
+    def _predict(self, name, body, priority=None):
+        endpoint = self._endpoints.get(name)
+        if endpoint is None:
+            raise KeyError(name)
+        self._sync_endpoint(name)
+        if priority is None:
+            priority = "normal"
         started = time.perf_counter()
-        # Snapshot the active version once: a concurrent version swap (or
+        # Snapshot the routed version once: a concurrent version swap (or
         # server stop) cannot hand this request half of each version.
-        version = endpoint.active_version()
+        version = endpoint.routed_version()
         executable = version.executable
-        inputs = body.get("inputs")
+        inputs = body.get("inputs") if isinstance(body, dict) else None
         signature = executable.signature
         if not isinstance(inputs, list) or len(inputs) != len(signature):
             raise ValueError(
@@ -406,8 +614,34 @@ class ModelServer:
         values = []
         for value, spec in zip(inputs, signature):
             if isinstance(spec, TensorSpec):
+                # Binary-wire inputs arrive as correctly-typed ndarray
+                # views and pass through asarray copy-free; JSON inputs
+                # (nested lists) materialize here.
                 value = np.asarray(value, dtype=spec.dtype.np_dtype)
             values.append(value)
+        if self._inflight_sem is not None:
+            if not self._inflight_sem.acquire(blocking=False):
+                raise QueueFullError(
+                    f"worker is at max_inflight={self._max_inflight} "
+                    "concurrently executing requests; retry later"
+                )
+            try:
+                result = self._execute(version, values, priority)
+            finally:
+                self._inflight_sem.release()
+        else:
+            result = self._execute(version, values, priority)
+        outputs = []
+        for leaf in nest.flatten(result):
+            if isinstance(leaf, EagerTensor):
+                leaf = leaf.numpy()
+            outputs.append(leaf)
+        endpoint.record_latency(time.perf_counter() - started)
+        self._request_served()
+        return {"outputs": outputs, "backend": executable.backend,
+                "version": version.label}
+
+    def _execute(self, version, values, priority):
         # Snapshot: stop() may null the batcher under an in-flight
         # handler thread.  A drained batcher raises its own "closed"
         # error; an already-nulled one must NOT fall through to the
@@ -415,26 +649,16 @@ class ModelServer:
         # batch axis).
         batcher = version.batcher
         if batcher is not None:
-            result = batcher.submit(values)
-        elif version.batch_config is not None:
+            return batcher.submit(values, priority=priority)
+        if version.batch_config is not None:
             raise RuntimeError("ModelServer is stopping")
-        else:
-            result = executable.call_flat(values)
-        outputs = []
-        for leaf in nest.flatten(result):
-            if isinstance(leaf, EagerTensor):
-                leaf = leaf.numpy()
-            if isinstance(leaf, (np.ndarray, np.generic)):
-                leaf = leaf.tolist()
-            outputs.append(leaf)
-        endpoint.record_latency(time.perf_counter() - started)
-        return {"outputs": outputs, "backend": executable.backend,
-                "version": version.label}
+        return version.executable.call_flat(values)
 
     def _swap_weights(self, name, body):
         endpoint = self._endpoints.get(name)
         if endpoint is None:
             raise KeyError(name)
+        self._sync_endpoint(name)
         weights = body.get("weights")
         target = body.get("version")
         if weights is None and target is None:
@@ -456,27 +680,59 @@ class ModelServer:
                         f"{sorted(endpoint.versions)}"
                     )
                 try:
-                    # No dtype here: each backend casts to the capture's
-                    # own dtype (float32 would corrupt wider captures).
-                    version.executable.set_capture_values({
-                        k: np.asarray(v) for k, v in weights.items()
-                    })
+                    self._apply_weights(name, label, version, weights)
                 except KeyError as e:
                     raise ValueError(str(e)) from e
                 swapped = sorted(weights)
             if target is not None:
                 try:
-                    endpoint.activate(str(target))
+                    self._activate(name, endpoint, str(target))
                 except KeyError:
                     raise ValueError(
                         f"{name!r} has no version {target!r}; registered: "
                         f"{sorted(endpoint.versions)}"
                     ) from None
+        self._request_served()
         return {
             "model": name,
             "active_version": endpoint.active,
             "swapped": swapped,
         }
+
+    def _apply_weights(self, name, label, version, weights):
+        """Swap one version's capture values (fleet workers override to
+        publish into shared memory instead)."""
+        # No dtype here: each backend casts to the capture's own dtype
+        # (float32 would corrupt wider captures).
+        version.executable.set_capture_values({
+            k: np.asarray(v) for k, v in weights.items()
+        })
+
+    def _activate(self, name, endpoint, label):
+        """Activate a version (fleet workers override to publish the
+        label fleet-wide)."""
+        endpoint.activate(label)
+
+    def _set_canary_route(self, name, body):
+        if not isinstance(body, dict):
+            raise ValueError("Body must be an object with 'version' and "
+                             "'fraction'")
+        self._sync_endpoint(name)
+        result = self.set_canary(name, body.get("version"),
+                                 body.get("fraction", 0.0))
+        self._request_served()
+        return result
+
+
+def _jsonify(value):
+    """Make a reply JSON-encodable (ndarray leaves -> nested lists)."""
+    if isinstance(value, (np.ndarray, np.generic)):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
 
 
 def _make_handler(server):
@@ -485,68 +741,131 @@ def _make_handler(server):
         def log_message(self, format, *args):  # noqa: A002
             pass
 
-        def _reply(self, status, payload):
-            data = json.dumps(payload).encode("utf-8")
+        def _reply_bytes(self, status, data, content_type, headers=()):
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
+            for key, value in headers:
+                self.send_header(key, value)
             self.end_headers()
             self.wfile.write(data)
 
-        def do_GET(self):  # noqa: N802 - http.server API
-            if self.path == "/v1/models":
-                self._reply(200, server._describe_all())
+        def _reply(self, status, payload, headers=()):
+            """JSON reply, or binary when the client accepts the tensor
+            wire format (tensor leaves then skip ``tolist`` entirely)."""
+            if status == 200 and self._accepts_binary():
+                self._reply_bytes(status, wire.encode(payload),
+                                  wire.CONTENT_TYPE, headers)
                 return
-            if self.path.startswith("/v1/models/"):
-                name = self.path[len("/v1/models/"):]
-                endpoint = server._endpoints.get(name)
-                if endpoint is not None:
-                    self._reply(200, {name: endpoint.describe()})
+            data = json.dumps(_jsonify(payload)).encode("utf-8")
+            self._reply_bytes(status, data, "application/json", headers)
+
+        def _accepts_binary(self):
+            return wire.CONTENT_TYPE in (self.headers.get("Accept") or "")
+
+        def _error(self, status, code, message):
+            headers = ()
+            if status == 503:
+                headers = (("Retry-After", str(RETRY_AFTER_SECONDS)),)
+            data = json.dumps(error_envelope(code, message)).encode("utf-8")
+            self._reply_bytes(status, data, "application/json", headers)
+
+        def _read_body(self):
+            """Decode the request body per its Content-Type."""
+            length = int(self.headers.get("Content-Length", 0))
+            raw = self.rfile.read(length) if length else b""
+            ctype = (self.headers.get("Content-Type") or
+                     "application/json").split(";")[0].strip().lower()
+            if ctype == wire.CONTENT_TYPE:
+                return wire.decode(raw)
+            if ctype in ("", "application/json"):
+                return json.loads(raw or b"{}")
+            raise _UnsupportedMediaType(ctype)
+
+        def do_GET(self):  # noqa: N802 - http.server API
+            try:
+                if self.path == "/v1/models":
+                    self._reply(200, server._describe_all())
                     return
-            self._reply(404, {"error": f"No route {self.path!r}"})
+                if self.path.startswith("/v1/models/"):
+                    name = self.path[len("/v1/models/"):]
+                    self._reply(200, server._describe_one(name))
+                    return
+                self._error(404, "not_found", f"No route {self.path!r}")
+            except KeyError:
+                self._error(404, "not_found", f"No signature {name!r}")
+            except Exception as e:  # noqa: BLE001 - wire boundary
+                self._error(500, "internal", f"{type(e).__name__}: {e}")
 
         def do_POST(self):  # noqa: N802 - http.server API
             route = None
-            for action in (":predict", ":swap_weights"):
+            for action in (":predict", ":swap_weights", ":canary"):
                 if (self.path.startswith("/v1/models/")
                         and self.path.endswith(action)):
                     route = action
                     name = self.path[len("/v1/models/"):-len(action)]
                     break
             if route is None:
-                self._reply(404, {"error": f"No route {self.path!r}"})
+                self._error(404, "not_found", f"No route {self.path!r}")
                 return
             try:
-                length = int(self.headers.get("Content-Length", 0))
-                body = json.loads(self.rfile.read(length) or b"{}")
+                body = self._read_body()
                 if route == ":predict":
-                    self._reply(200, server._predict(name, body))
-                else:
+                    priority = self._priority()
+                    self._reply(200, server._predict(name, body,
+                                                     priority=priority))
+                elif route == ":swap_weights":
                     self._reply(200, server._swap_weights(name, body))
+                else:
+                    self._reply(200, server._set_canary_route(name, body))
+            except _UnsupportedMediaType as e:
+                self._error(415, "unsupported_media_type",
+                            f"Cannot decode Content-Type {e.args[0]!r}; "
+                            f"send application/json or {wire.CONTENT_TYPE}")
             except KeyError:
-                self._reply(404, {"error": f"No signature {name!r}"})
+                self._error(404, "not_found", f"No signature {name!r}")
             except QueueFullError as e:
-                self._reply(503, {"error": str(e)})
-            except (ValueError, TypeError, FrameworkError) as e:
-                self._reply(400, {"error": str(e)})
+                self._error(503, "queue_full", e)
+            except ActiveVersionError as e:
+                self._error(409, "active_version", e)
+            except (wire.WireError, json.JSONDecodeError, ValueError,
+                    TypeError, FrameworkError) as e:
+                self._error(400, "bad_request", e)
             except Exception as e:  # noqa: BLE001 - wire boundary
-                self._reply(500, {"error": f"{type(e).__name__}: {e}"})
+                self._error(500, "internal", f"{type(e).__name__}: {e}")
+
+        def _priority(self):
+            priority = self.headers.get("X-Repro-Priority")
+            if priority is None:
+                return None
+            priority = priority.strip().lower()
+            if priority not in ("normal", "high"):
+                raise ValueError(
+                    f"X-Repro-Priority must be 'normal' or 'high', "
+                    f"got {priority!r}"
+                )
+            return priority
 
         def do_DELETE(self):  # noqa: N802 - http.server API
             prefix = "/v1/models/"
             marker = "/versions/"
             if not (self.path.startswith(prefix) and marker in self.path):
-                self._reply(404, {"error": f"No route {self.path!r}"})
+                self._error(404, "not_found", f"No route {self.path!r}")
                 return
             name, _, label = self.path[len(prefix):].partition(marker)
             try:
                 self._reply(200, server.remove_version(name, label))
             except ActiveVersionError as e:
-                self._reply(409, {"error": str(e)})
+                self._error(409, "active_version", e)
             except KeyError as e:
-                self._reply(404, {"error": str(e.args[0]) if e.args
-                                  else f"No signature {name!r}"})
+                self._error(404, "not_found",
+                            str(e.args[0]) if e.args
+                            else f"No signature {name!r}")
             except Exception as e:  # noqa: BLE001 - wire boundary
-                self._reply(500, {"error": f"{type(e).__name__}: {e}"})
+                self._error(500, "internal", f"{type(e).__name__}: {e}")
 
     return _Handler
+
+
+class _UnsupportedMediaType(Exception):
+    """Internal: request body in a Content-Type we do not speak."""

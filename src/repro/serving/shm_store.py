@@ -1,0 +1,282 @@
+"""Fleet weights in ``multiprocessing.shared_memory``: one copy, N readers.
+
+The prefork fleet's hot-swap problem: ``swap_weights`` must be observed
+**atomically by every worker process** — no request may ever execute
+against half-old, half-new weights — and shipping N copies of the weight
+matrices through pipes would make swaps O(workers * bytes).
+
+:class:`SharedWeightStore` solves both with *generations*:
+
+- every generation is one immutable shared-memory segment holding **all**
+  of a version's capture tensors, framed by the binary wire codec
+  (:mod:`repro.serving.wire`), so a reader maps the whole set zero-copy
+  as read-only ndarray views;
+- a tiny fixed control segment holds the current generation number; the
+  publisher writes the new data segment first, then bumps the counter
+  (one aligned 8-byte store).  Readers poll the counter (one
+  ``unpack_from`` — cheap enough for once-per-request), and on a change
+  rebind their executable's *entire* capture tuple from the new
+  generation's views in a single atomic assignment;
+- old generations stay mapped until their last in-flight reader drops
+  them; the publisher unlinks the segment *names* two generations back,
+  so the live set is bounded at two while Linux keeps the memory alive
+  for whoever still holds views.
+
+Atomicity therefore never depends on locking the readers: a request
+either snapshots generation G's whole tuple or generation G+1's whole
+tuple.  Concurrent *publishers* (any worker may serve the swap request)
+serialize on a fork-inherited ``multiprocessing.Lock``.
+
+Segment names are process-global; creators pass ``create=True`` and own
+:meth:`unlink` cleanup, attachers are unregistered from Python's
+``resource_tracker`` so a worker exiting never tears down segments its
+siblings still serve from (bpo-39959).
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from . import wire
+
+__all__ = ["SharedWeightStore"]
+
+_CTL_MAGIC = 0x5250_5753  # "RPWS"
+_CTL_SIZE = 16  # u64 magic | u64 generation
+
+
+def _untrack(segment):
+    """Drop ``segment`` from this process's resource tracker.
+
+    The tracker assumes one owner per segment; in a fleet every worker
+    attaches (and may create successor generations of) segments whose
+    lifetime the acceptor owns.  Without this, the first worker to exit
+    would unlink weights the rest of the fleet is still mapping.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # noqa: BLE001 - tracker details vary per version
+        pass
+
+
+def _unlink_segment(segment):
+    """Remove ``segment``'s name without touching the resource tracker.
+
+    Every attach/create here is untracked (see :func:`_untrack`), so the
+    tracker has nothing registered; ``SharedMemory.unlink`` would send
+    an unmatched unregister and the tracker process logs a KeyError.
+    """
+    try:
+        from multiprocessing.shared_memory import _posixshmem
+
+        _posixshmem.shm_unlink(segment._name)
+    except FileNotFoundError:
+        pass
+    except (ImportError, AttributeError):  # pragma: no cover - non-posix
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class SharedWeightStore:
+    """Generational shared-memory storage for one executable's captures."""
+
+    def __init__(self, namespace, *, create=False, initial=None, lock=None):
+        """Args:
+          namespace: short, unique, filesystem-safe segment-name prefix
+            (the fleet derives one per served (model, version)).
+          create: allocate the control segment and publish ``initial`` as
+            generation 1 (the acceptor side); ``False`` attaches to an
+            existing store (the worker side).
+          initial: ``{capture name: ndarray}`` for the first generation.
+          lock: a fork-inherited ``multiprocessing.Lock`` serializing
+            publishers; ``None`` leaves publishing unsynchronized (fine
+            for a single publisher or in-process tests).
+        """
+        self._ns = namespace
+        self._lock = lock
+        self._owner = create
+        self._segments = {}  # generation -> (SharedMemory, {name: view})
+        if create:
+            self._ctl = shared_memory.SharedMemory(
+                name=self._ctl_name(), create=True, size=_CTL_SIZE)
+            _untrack(self._ctl)
+            struct.pack_into("<QQ", self._ctl.buf, 0, _CTL_MAGIC, 0)
+            self._write_generation(self._publish_locked(dict(initial or {})))
+        else:
+            self._ctl = shared_memory.SharedMemory(name=self._ctl_name())
+            _untrack(self._ctl)
+            magic, = struct.unpack_from("<Q", self._ctl.buf, 0)
+            if magic != _CTL_MAGIC:
+                raise ValueError(
+                    f"shared segment {self._ctl_name()!r} is not a "
+                    "SharedWeightStore control block"
+                )
+
+    def _ctl_name(self):
+        return f"{self._ns}c"
+
+    def _data_name(self, generation):
+        return f"{self._ns}g{generation}"
+
+    # -- the generation counter -------------------------------------------
+
+    @property
+    def generation(self):
+        """The latest published generation (one shared 8-byte read)."""
+        return struct.unpack_from("<Q", self._ctl.buf, 8)[0]
+
+    def _write_generation(self, generation):
+        struct.pack_into("<Q", self._ctl.buf, 8, generation)
+        return generation
+
+    # -- readers -----------------------------------------------------------
+
+    def read(self):
+        """``(generation, {name: read-only ndarray view})`` of the latest
+        generation, mapped zero-copy from shared memory.
+
+        Retries across the publish race (counter bumped between our read
+        and the segment attach, old name already unlinked).
+        """
+        for _ in range(64):
+            generation = self.generation
+            cached = self._segments.get(generation)
+            if cached is not None:
+                return generation, cached[1]
+            try:
+                seg = shared_memory.SharedMemory(
+                    name=self._data_name(generation))
+            except FileNotFoundError:
+                if self.generation == generation:
+                    raise
+                continue  # lost the race to a newer generation
+            _untrack(seg)
+            doc = wire.decode(seg.buf)
+            self._segments[generation] = (seg, doc["weights"])
+            self._prune(generation)
+            return generation, doc["weights"]
+        raise RuntimeError(
+            f"SharedWeightStore {self._ns!r}: generation kept moving; "
+            "publisher storm or corrupted control block"
+        )
+
+    def _prune(self, latest):
+        """Unmap generations nobody should still be binding.
+
+        A segment whose views are still referenced (an in-flight call's
+        capture tuple) refuses to close with ``BufferError``; it is kept
+        and retried on the next prune.
+        """
+        for generation in list(self._segments):
+            if generation >= latest - 1:
+                continue
+            seg, _views = self._segments[generation]
+            try:
+                seg.close()
+            except BufferError:
+                continue
+            del self._segments[generation]
+
+    # -- publishers --------------------------------------------------------
+
+    def publish(self, mapping):
+        """Write ``mapping`` as the next generation and bump the counter.
+
+        Returns the new generation number.  The full mapping replaces the
+        previous generation (use :meth:`update` for partial swaps); the
+        data segment lands complete *before* the counter moves, so a
+        reader can never map a half-written generation.
+        """
+        if self._lock is not None:
+            with self._lock:
+                return self._write_generation(self._publish_locked(mapping))
+        return self._write_generation(self._publish_locked(mapping))
+
+    def update(self, partial):
+        """Merge ``partial`` over the current weights into a new
+        generation; unknown names raise ``KeyError``."""
+        if self._lock is not None:
+            with self._lock:
+                return self._write_generation(self._update_locked(partial))
+        return self._write_generation(self._update_locked(partial))
+
+    def _update_locked(self, partial):
+        _, current = self.read()
+        merged = dict(current)
+        for name, value in partial.items():
+            if name not in merged:
+                raise KeyError(
+                    f"store {self._ns!r} has no capture named {name!r}; "
+                    f"captures: {sorted(merged)}"
+                )
+            value = np.asarray(value, dtype=merged[name].dtype)
+            if value.shape != merged[name].shape:
+                raise ValueError(
+                    f"Capture {name!r} expects shape {merged[name].shape}, "
+                    f"got {value.shape}"
+                )
+            merged[name] = value
+        return self._publish_locked(merged)
+
+    def _publish_locked(self, mapping):
+        generation = self.generation + 1
+        payload = wire.encode(
+            {"weights": {str(k): np.asarray(v) for k, v in mapping.items()}})
+        seg = shared_memory.SharedMemory(
+            name=self._data_name(generation), create=True,
+            size=max(len(payload), 1))
+        _untrack(seg)
+        seg.buf[:len(payload)] = payload
+        seg.close()
+        # Bound the named set: by the time G lands, G-2 has no *new*
+        # readers (they all see >= G-1); existing mappings stay alive.
+        self._unlink_quietly(self._data_name(generation - 2))
+        return generation
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @staticmethod
+    def _unlink_quietly(name):
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return
+        _untrack(seg)
+        try:
+            _unlink_segment(seg)
+        finally:
+            seg.close()
+
+    def close(self):
+        """Unmap everything this process attached (keeps the store
+        published for other processes)."""
+        for generation in list(self._segments):
+            seg, _views = self._segments.pop(generation)
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - views still live
+                pass
+        try:
+            self._ctl.close()
+        except BufferError:  # pragma: no cover
+            pass
+
+    def unlink(self):
+        """Tear the store's names out of the system (creator cleanup)."""
+        generation = self.generation
+        self.close()
+        for g in (generation, generation - 1, generation - 2):
+            if g > 0:
+                self._unlink_quietly(self._data_name(g))
+        self._unlink_quietly(self._ctl_name())
+
+    def __repr__(self):
+        return (f"<SharedWeightStore {self._ns!r} "
+                f"generation={self.generation}>")

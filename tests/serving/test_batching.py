@@ -284,3 +284,122 @@ def test_server_maps_queue_full_to_503():
             exe.release.set()
             for t in threads:
                 t.join()
+
+
+# ---------------------------------------------------------------------------
+# Priority lanes
+# ---------------------------------------------------------------------------
+
+
+class _RecordingGate(_GatedExecutable):
+    """Gated stub that records the order calls reach the executable."""
+
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+
+    def call_flat(self, flat_args):
+        self.seen.append(float(np.asarray(flat_args[0]).ravel()[0]))
+        return super().call_flat(flat_args)
+
+
+def test_high_priority_lane_drains_first():
+    exe = _RecordingGate()
+    batcher = MicroBatcher(exe, max_batch_size=1, batch_timeout=0.0)
+    threads = []
+
+    def bg(value, priority):
+        t = threading.Thread(
+            target=lambda: batcher.submit(
+                [np.full((2,), value, np.float32)], priority=priority))
+        t.start()
+        threads.append(t)
+
+    try:
+        bg(1.0, "normal")  # occupies the worker (blocked in call_flat)
+        assert exe.entered.wait(10.0)
+        bg(2.0, "normal")
+        bg(3.0, "high")
+        deadline = time.monotonic() + 10.0
+        while batcher.queue_depth() < 2:
+            assert time.monotonic() < deadline, "queue never filled"
+            time.sleep(0.001)
+    finally:
+        exe.release.set()
+        for t in threads:
+            t.join()
+        batcher.close()
+    # The high request overtook the earlier-queued normal one.
+    assert exe.seen == [1.0, 3.0, 2.0]
+    assert batcher.stats.high_priority == 1
+
+
+def test_high_lane_headroom_under_load_shedding():
+    from repro.serving import QueueFullError
+
+    exe = _GatedExecutable()
+    batcher = MicroBatcher(exe, max_batch_size=1, batch_timeout=0.0,
+                           max_queue=2)
+    example = np.zeros((2,), np.float32)
+    threads = []
+
+    def bg(priority):
+        t = threading.Thread(
+            target=lambda: batcher.submit([example], priority=priority))
+        t.start()
+        threads.append(t)
+
+    try:
+        bg("normal")  # occupies the worker
+        assert exe.entered.wait(10.0)
+        bg("normal")
+        bg("normal")
+        deadline = time.monotonic() + 10.0
+        while batcher.queue_depth() < 2:
+            assert time.monotonic() < deadline, "queue never filled"
+            time.sleep(0.001)
+        # Normal lane sheds at max_queue=2 ...
+        with pytest.raises(QueueFullError, match="normal lane"):
+            batcher.submit([example])
+        # ... but the high lane still has headroom (2 + max(1, 2//2) = 3).
+        bg("high")
+        deadline = time.monotonic() + 10.0
+        while batcher.queue_depth() < 3:
+            assert time.monotonic() < deadline, "high request never queued"
+            time.sleep(0.001)
+        with pytest.raises(QueueFullError, match="high lane"):
+            batcher.submit([example], priority="high")
+        assert batcher.stats.rejected == 2
+        assert batcher.stats.high_priority == 1
+    finally:
+        exe.release.set()
+        for t in threads:
+            t.join()
+        batcher.close()
+
+
+def test_invalid_priority_rejected():
+    cf, _ = _model()
+    with MicroBatcher(cf) as batcher:
+        with pytest.raises(ValueError, match="priority"):
+            batcher.submit([np.ones(4, np.float32)], priority="urgent")
+
+
+def test_priority_header_reaches_batcher():
+    from repro.serving import ModelServer, ServingClient
+    from repro.serving.client import ServingError
+
+    cf, w = _model()
+    server = ModelServer()
+    server.register("m", cf)
+    with server:
+        c = ServingClient(server.url)
+        x = np.ones((4,), np.float32)
+        out = c.predict("m", [x], priority="high")
+        np.testing.assert_allclose(
+            np.asarray(out["outputs"][0]), x @ w, rtol=1e-5)
+        stats = server._endpoints["m"].active_version().batcher.stats
+        assert stats.high_priority == 1
+        with pytest.raises(ServingError) as info:
+            c.predict("m", [x], priority="urgent")
+        assert info.value.status == 400
