@@ -100,6 +100,66 @@ def test_fast_path_beats_legacy_feed_dict(results):
     )
 
 
+def test_recorder_overhead_on_fast_path(results):
+    """The observe instrumentation's bargain: the *disabled* recorder
+    costs the fast path one dormant branch.
+
+    Three rows land in ``BENCH_ci.json`` so a regression in either mode
+    shows up per commit (the disabled row is directly comparable to the
+    "slot-addressed fast path" row across commits — it *is* that path):
+
+    - recorder disabled, pristine (the default everyone pays);
+    - recorder enabled (per-step/level/plan spans recording);
+    - recorder disabled again *after* a heavy tracing session.
+
+    The hard gate: after profiling, the disabled path must return to
+    within 3% of the pristine baseline (plus a sub-microsecond noise
+    epsilon) — tracing must leave zero residue on the default path.
+    """
+    from repro.observe.events import RECORDER
+
+    OVERHEAD_CAP = 1.03
+    EPSILON_S = 0.5e-6
+
+    cf, x, w = _concrete_function()
+    args = [x, w]
+
+    def run(n):
+        call = cf.call_flat
+        for _ in range(n):
+            call(args)
+
+    assert not RECORDER.enabled
+    run(10)
+    baseline = _best_per_call(run, CALLS, REPEATS)
+
+    RECORDER.enable()
+    try:
+        run(10)
+        enabled = _best_per_call(run, CALLS, REPEATS)
+    finally:
+        RECORDER.disable()
+        RECORDER.clear()
+        RECORDER.clear_counters()
+
+    disabled_after = _best_per_call(run, CALLS, REPEATS)
+
+    results.record(TABLE, "fast path, recorder disabled", "per-call us",
+                   baseline * 1e6, unit="us")
+    results.record(TABLE, "fast path, recorder enabled (tracing)",
+                   "per-call us", enabled * 1e6, unit="us")
+    results.record(TABLE, "fast path, recorder enabled (tracing)",
+                   "overhead vs disabled", enabled / baseline, unit="x")
+    results.record(TABLE, "fast path, disabled after tracing session",
+                   "per-call us", disabled_after * 1e6, unit="us")
+
+    assert disabled_after <= baseline * OVERHEAD_CAP + EPSILON_S, (
+        f"disabled path after tracing: {disabled_after * 1e6:.2f}us/call "
+        f"vs pristine {baseline * 1e6:.2f}us/call — more than "
+        f"{(OVERHEAD_CAP - 1) * 100:.0f}% residue"
+    )
+
+
 def test_microbatcher_dispatch_has_no_per_call_feed_dicts(results):
     """The batcher's worker path rides the same bound plan: one stacked
     execute per batch.  Per-call time here is dominated by queue

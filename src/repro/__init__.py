@@ -25,6 +25,10 @@ Packages:
     grids dispatched kernel-per-block (eagerly or lowered into
     level-parallel execution plans) with deterministic pairwise-tree
     accumulation, plus data-parallel sharded training.
+  - :mod:`repro.observe` -- cross-layer tracing and metrics: a
+    ring-buffer recorder of per-step/per-request spans behind
+    ``repro.observe.profile()``, Chrome-trace export, live counters
+    served at ``GET /v1/metrics``.
 """
 
 __version__ = "0.1.0"
@@ -52,6 +56,7 @@ __all__ = [
     "saved_function",
     "runtime",
     "blocks",
+    "observe",
 ]
 
 
@@ -69,4 +74,6 @@ def __getattr__(name):
         return importlib.import_module(".serving.saved_function", __name__)
     if name == "blocks":
         return importlib.import_module(".blocks", __name__)
+    if name == "observe":
+        return importlib.import_module(".observe", __name__)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

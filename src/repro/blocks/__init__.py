@@ -30,10 +30,16 @@ from .ops import (
     add,
     concat,
     divide,
+    equal,
+    greater,
+    greater_equal,
+    less,
+    less_equal,
     matmul,
     maximum,
     minimum,
     multiply,
+    not_equal,
     pair_tree,
     reduce_max,
     reduce_mean,
@@ -41,6 +47,7 @@ from .ops import (
     reduce_sum,
     subtract,
     transpose,
+    where,
 )
 from .scheduler import BlockScheduler
 from .spec import BlockSpec
@@ -54,11 +61,17 @@ __all__ = [
     "add",
     "concat",
     "divide",
+    "equal",
+    "greater",
+    "greater_equal",
+    "less",
+    "less_equal",
     "lower_blocked_graph",
     "matmul",
     "maximum",
     "minimum",
     "multiply",
+    "not_equal",
     "pair_tree",
     "reduce_max",
     "reduce_mean",
@@ -66,4 +79,5 @@ __all__ = [
     "reduce_sum",
     "subtract",
     "transpose",
+    "where",
 ]

@@ -35,6 +35,8 @@ __all__ = [
     "floor", "negative", "abs",  # noqa: A001 - mirrors the op registry
     "add", "subtract", "multiply", "divide", "power", "maximum", "minimum",
     "mod", "floor_divide",
+    "greater", "greater_equal", "less", "less_equal", "equal", "not_equal",
+    "where",
 ]
 
 #: Elementwise op names safe for block-wise mapping (shape-preserving,
@@ -173,6 +175,76 @@ maximum = _binary_fn("Maximum")
 minimum = _binary_fn("Minimum")
 mod = _binary_fn("Mod")
 floor_divide = _binary_fn("FloorDiv")
+
+greater = _binary_fn("Greater")
+greater_equal = _binary_fn("GreaterEqual")
+less = _binary_fn("Less")
+less_equal = _binary_fn("LessEqual")
+equal = _binary_fn("Equal")
+not_equal = _binary_fn("NotEqual")
+
+
+def where(cond, x, y, scheduler=None):
+    """Blocked ``Select``: ``where(cond, x, y)`` block-wise.
+
+    At least one of the three operands must be a :class:`BlockArray`;
+    its grid becomes the result grid (same-shape blocked operands are
+    re-gridded to it, dense operands are sliced per block, scalars
+    broadcast).  The registry's ``Select`` kernel keeps the legacy
+    rank-1-condition semantics — a rank-1 ``cond`` over rank-2 operands
+    selects whole *rows* — so a rank-1 condition is sliced along the
+    grid's leading axis, not broadcast numpy-style against the trailing
+    one.
+    """
+    ref = next((v for v in (x, y, cond) if isinstance(v, BlockArray)), None)
+    if ref is None:
+        raise TypeError("blocked where needs at least one BlockArray")
+    grid = ref.grid
+
+    def lift(v, label):
+        if not isinstance(v, BlockArray):
+            return _operand_views(grid, v)
+        if v.grid == grid:
+            return v.block_list()
+        if v.shape != grid.shape:
+            raise ValueError(
+                f"blocked where operand {label} has shape {v.shape}, "
+                f"expected {grid.shape}"
+            )
+        return v.regrid(grid=grid).block_list()
+
+    def leading(c, rank):
+        # Lower-rank condition over a higher-rank grid: slice its axes
+        # against the grid's *leading* axes, one view per block (shared
+        # across the trailing block dimensions).
+        if isinstance(c, BlockArray):
+            c = c.to_dense()
+        c = np.asarray(c)
+        return [
+            c[tuple(slice(*grid.block_bounds(entry)[d])
+                    for d in range(rank))]
+            for entry in grid.entries()
+        ]
+
+    cond_rank = cond.ndim if isinstance(cond, BlockArray) else np.ndim(cond)
+    if 0 < cond_rank < len(grid.shape):
+        cond_shape = tuple(cond.shape if isinstance(cond, BlockArray)
+                           else np.shape(cond))
+        if cond_shape != grid.shape[:cond_rank]:
+            raise ValueError(
+                f"low-rank where condition has shape {cond_shape}, "
+                f"expected leading dimensions "
+                f"{grid.shape[:cond_rank]}"
+            )
+        conds = leading(cond, cond_rank)
+    else:
+        conds = lift(cond, "cond")
+
+    kernel = registry.get_op_def("Select").kernel
+    triples = list(zip(conds, lift(x, "x"), lift(y, "y")))
+    blocks = _sched(scheduler).map(
+        lambda t: kernel(t[0], t[1], t[2]), triples)
+    return BlockArray.from_blocks(grid, blocks)
 
 
 # ---------------------------------------------------------------------------

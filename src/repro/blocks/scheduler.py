@@ -18,6 +18,8 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
+from ..observe.events import RECORDER as _REC
+
 __all__ = ["BlockScheduler"]
 
 
@@ -73,6 +75,18 @@ class BlockScheduler:
         pool, so the fallback path has zero threading overhead.
         """
         items = list(items)
+        if _REC.enabled:
+            # Per-task spans: each pool thread gets its own track in the
+            # trace viewer, so block-level parallelism is visible.
+            inner = fn
+
+            def fn(item, _fn=inner, _rec=_REC):
+                t0 = _rec.begin()
+                try:
+                    return _fn(item)
+                finally:
+                    _rec.end("block_task", "block", t0)
+
         if self._num_workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
         return list(self._ensure_pool().map(fn, items))

@@ -24,6 +24,7 @@ import threading
 import warnings
 
 from ..framework import context
+from ..observe.events import RECORDER as _REC
 from . import signature as signature_lib
 from .executable import get_backend_builder
 
@@ -135,6 +136,35 @@ class Function:
 
     def _lookup_or_build(self, canonical):
         """One cache, any backend: resolve, prepare the key, build once.
+
+        Also the function layer's observability choke point: every call
+        lands a ``function.cache_hits``/``function.cache_misses``
+        counter, and — while the recorder is on — a span named
+        ``cache_lookup`` (hit), ``trace`` (first build) or ``retrace``
+        (subsequent build) tagged with the input signature key.
+        """
+        rec = _REC
+        if not rec.enabled:
+            n = len(self._cache)
+            cf, canonical = self._lookup_or_build_inner(canonical)
+            rec.counter("function.cache_hits" if len(self._cache) == n
+                        else "function.cache_misses")
+            return cf, canonical
+        t0 = rec.begin()
+        n = len(self._cache)
+        cf, canonical = self._lookup_or_build_inner(canonical)
+        built = len(self._cache) != n
+        rec.counter("function.cache_misses" if built
+                    else "function.cache_hits")
+        name = ("retrace" if n else "trace") if built else "cache_lookup"
+        rec.end(name, "function", t0, {
+            "function": self._name,
+            "signature": repr(canonical.key)[:200],
+        })
+        return cf, canonical
+
+    def _lookup_or_build_inner(self, canonical):
+        """The uninstrumented lookup/build path.
 
         Every backend goes through the same path — the resolved
         :class:`~repro.function.executable.BackendBuilder` re-keys the

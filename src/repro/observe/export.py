@@ -1,0 +1,129 @@
+"""Exporters for recorded events: Chrome trace-event JSON and flat stats.
+
+:func:`chrome_trace` produces the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+JSON object that ``chrome://tracing`` and `Perfetto <https://ui.
+perfetto.dev>`_ load directly:
+
+- ``"X"`` complete events carry ``ts``/``dur`` in microseconds;
+- ``"i"`` instants and ``"C"`` counter samples ride along;
+- ``"M"`` metadata events name each process and thread, so a trace
+  merged from fleet workers shows one labelled track per worker process
+  (pid) and per emitting thread (tid).
+
+Timestamps are rebased to the earliest event in the export (Chrome's
+viewer is happiest near zero) but keep their relative spacing, so
+events recorded by different threads of one process stay aligned.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["chrome_trace", "save_chrome_trace", "stats_summary"]
+
+
+def chrome_trace(events, process_names=None, counters=None):
+    """Build a Chrome trace-event JSON object from recorder events.
+
+    Args:
+      events: an iterable of recorder event tuples
+        (``(phase, name, cat, start, dur_or_value, tid, pid, args)``).
+      process_names: optional ``{pid: label}`` mapping emitted as
+        ``process_name`` metadata (fleet exports label each worker).
+      counters: optional final counter snapshot; emitted as one ``"C"``
+        sample per counter at the end of the trace so the totals are
+        visible even when individual increments predate the ring.
+
+    Returns:
+      A JSON-serializable dict: ``{"traceEvents": [...],
+      "displayTimeUnit": "ms"}``.
+    """
+    events = list(events)
+    t_zero = min((e[3] for e in events), default=0.0)
+    trace = []
+    seen_procs = {}
+    seen_threads = set()
+    for phase, name, cat, start, dur_or_value, tid, pid, args in events:
+        ts = (start - t_zero) * 1e6
+        entry = {
+            "name": name,
+            "cat": cat or "repro",
+            "ph": phase,
+            "ts": round(ts, 3),
+            "pid": pid,
+            "tid": tid,
+        }
+        if phase == "X":
+            entry["dur"] = round(dur_or_value * 1e6, 3)
+        elif phase == "C":
+            entry["args"] = {"value": dur_or_value}
+        elif phase == "i":
+            entry["s"] = "t"  # thread-scoped instant
+        if args:
+            entry.setdefault("args", {}).update(args)
+        trace.append(entry)
+        seen_procs.setdefault(pid, None)
+        seen_threads.add((pid, tid))
+
+    meta = []
+    names = dict(process_names or {})
+    for pid in sorted(seen_procs):
+        meta.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": names.get(pid, f"repro pid {pid}")},
+        })
+    for pid, tid in sorted(seen_threads):
+        meta.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": f"thread {tid}"},
+        })
+
+    if counters:
+        end_ts = max(
+            ((e[3] - t_zero) + (e[4] if e[0] == "X" else 0.0)
+             for e in events), default=0.0) * 1e6
+        pid = events[-1][6] if events else 0
+        for name in sorted(counters):
+            trace.append({
+                "name": name, "cat": "counter", "ph": "C",
+                "ts": round(end_ts, 3), "pid": pid, "tid": 0,
+                "args": {"value": counters[name]},
+            })
+
+    return {"traceEvents": meta + trace, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(path, events, process_names=None, counters=None):
+    """Write :func:`chrome_trace` output to ``path`` as JSON; returns
+    the path (load the file in ``chrome://tracing`` or Perfetto)."""
+    doc = chrome_trace(events, process_names=process_names,
+                       counters=counters)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+    return path
+
+
+def stats_summary(events):
+    """A flat per-name summary of the span events in ``events``.
+
+    Returns:
+      ``{name: {"count", "total_s", "mean_s", "max_s"}}`` over ``"X"``
+      events — the quick textual answer to "where did the time go"
+      without loading a trace viewer.
+    """
+    summary = {}
+    for phase, name, _cat, _start, dur, _tid, _pid, _args in events:
+        if phase != "X":
+            continue
+        entry = summary.get(name)
+        if entry is None:
+            entry = summary[name] = {
+                "count": 0, "total_s": 0.0, "max_s": 0.0}
+        entry["count"] += 1
+        entry["total_s"] += dur
+        if dur > entry["max_s"]:
+            entry["max_s"] = dur
+    for entry in summary.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"]
+    return summary

@@ -1,0 +1,185 @@
+"""``repro.observe.profile()``: the user-facing tracing entry point.
+
+::
+
+    with repro.observe.profile() as timeline:
+        fn(x, w)                      # any instrumented work
+
+    timeline.spans                    # every recorded span
+    timeline.top_kernels(5)           # hottest plan steps by total time
+    timeline.total_time("MatMul_1")   # summed duration of one span name
+    timeline.save_chrome_trace("trace.json")   # -> chrome://tracing
+
+The context manager enables the process-global recorder on entry and
+disables it on exit (restoring the previous state, so nested profiles
+compose); the returned :class:`Timeline` holds only the events recorded
+*inside* the block.
+"""
+
+from __future__ import annotations
+
+from collections import namedtuple
+
+from . import export as export_lib
+from .events import RECORDER
+
+__all__ = ["Span", "Timeline", "profile"]
+
+
+#: One recorded span, durations in seconds.
+Span = namedtuple("Span", ["name", "cat", "start", "duration", "tid",
+                           "pid", "args"])
+
+
+class Timeline:
+    """A queryable view over the events one :func:`profile` recorded."""
+
+    def __init__(self, events=(), counters=None):
+        self._events = list(events)
+        self._counters = dict(counters or {})
+
+    # -- raw access --------------------------------------------------------
+
+    @property
+    def events(self):
+        """The raw recorder event tuples, oldest first."""
+        return list(self._events)
+
+    @property
+    def counters(self):
+        """Counter snapshot deltas accumulated during the profile."""
+        return dict(self._counters)
+
+    @property
+    def spans(self):
+        """Every complete span, as :class:`Span` tuples."""
+        return [
+            Span(name, cat, start, dur, tid, pid, args)
+            for phase, name, cat, start, dur, tid, pid, args in self._events
+            if phase == "X"
+        ]
+
+    def query(self, name=None, cat=None):
+        """Spans filtered by exact ``name`` and/or ``cat``."""
+        return [
+            s for s in self.spans
+            if (name is None or s.name == name)
+            and (cat is None or s.cat == cat)
+        ]
+
+    # -- aggregation -------------------------------------------------------
+
+    def total_time(self, name=None, cat=None):
+        """Summed duration (seconds) of the matching spans."""
+        return sum(s.duration for s in self.query(name=name, cat=cat))
+
+    def self_times(self):
+        """Per-span *self* time: duration minus enclosed child spans.
+
+        Nesting is computed per (pid, tid) from the time intervals —
+        a span is a child of the innermost same-thread span whose
+        interval contains it.  Returns ``[(Span, self_seconds), ...]``
+        in start order.
+        """
+        by_thread = {}
+        for s in self.spans:
+            by_thread.setdefault((s.pid, s.tid), []).append(s)
+        out = []
+        for spans in by_thread.values():
+            spans.sort(key=lambda s: (s.start, -s.duration))
+            stack = []  # (span, accumulated child time)
+            for s in spans:
+                while stack and s.start >= (stack[-1][0].start
+                                            + stack[-1][0].duration):
+                    parent, child_time = stack.pop()
+                    out.append((parent, max(0.0,
+                                            parent.duration - child_time)))
+                if stack:
+                    stack[-1][1] += s.duration
+                stack.append([s, 0.0])
+            while stack:
+                parent, child_time = stack.pop()
+                out.append((parent, max(0.0, parent.duration - child_time)))
+        out.sort(key=lambda pair: pair[0].start)
+        return [(s, st) for s, st in out]
+
+    def top_kernels(self, k=10, cat="step"):
+        """The ``k`` hottest span names of ``cat`` by total time.
+
+        Defaults to the runtime engine's per-step kernel spans.  Returns
+        ``[(name, total_seconds, count), ...]``, hottest first.
+        """
+        totals = {}
+        for s in self.spans:
+            if cat is not None and s.cat != cat:
+                continue
+            total, count = totals.get(s.name, (0.0, 0))
+            totals[s.name] = (total + s.duration, count + 1)
+        ranked = sorted(
+            ((name, total, count) for name, (total, count) in totals.items()),
+            key=lambda row: -row[1])
+        return ranked[:k]
+
+    def summary(self):
+        """Flat per-name stats (see :func:`repro.observe.stats_summary`)."""
+        return export_lib.stats_summary(self._events)
+
+    # -- export ------------------------------------------------------------
+
+    def chrome_trace(self, process_names=None):
+        """This timeline as a Chrome trace-event JSON object."""
+        return export_lib.chrome_trace(
+            self._events, process_names=process_names,
+            counters=self._counters)
+
+    def save_chrome_trace(self, path, process_names=None):
+        """Write the Chrome trace JSON to ``path``; returns the path."""
+        return export_lib.save_chrome_trace(
+            path, self._events, process_names=process_names,
+            counters=self._counters)
+
+    def __len__(self):
+        return len(self._events)
+
+    def __repr__(self):
+        return (f"<Timeline events={len(self._events)} "
+                f"spans={sum(1 for e in self._events if e[0] == 'X')}>")
+
+
+class _Profile:
+    """The ``with repro.observe.profile()`` context manager."""
+
+    def __init__(self, recorder=None):
+        self._recorder = recorder if recorder is not None else RECORDER
+        self.timeline = Timeline()
+
+    def __enter__(self):
+        rec = self._recorder
+        self._was_enabled = rec.enabled
+        self._t0 = rec.begin()
+        self._counters0 = rec.counters()
+        rec.enable()
+        return self.timeline
+
+    def __exit__(self, exc_type, exc, tb):
+        rec = self._recorder
+        rec.enabled = self._was_enabled
+        deltas = {}
+        before = self._counters0
+        for name, value in rec.counters().items():
+            delta = value - before.get(name, 0)
+            if delta:
+                deltas[name] = delta
+        self.timeline._events = rec.events(since=self._t0)
+        self.timeline._counters = deltas
+        return False
+
+
+def profile(recorder=None):
+    """Record instrumented work into a :class:`Timeline`.
+
+    Enables the (global, unless ``recorder`` is given) recorder for the
+    duration of the ``with`` block; the yielded :class:`Timeline` is
+    populated when the block exits — query it *after* the ``with``.
+    """
+    return _Profile(recorder)

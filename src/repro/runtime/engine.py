@@ -32,6 +32,7 @@ import threading
 import numpy as np
 
 from ..framework.errors import FetchError
+from ..observe.events import RECORDER as _REC
 
 __all__ = ["BoundPlan", "CacheStats", "PlanCache", "DEFAULT_PLAN_CACHE_SIZE"]
 
@@ -46,7 +47,8 @@ class BoundPlan:
     """An :class:`~repro.runtime.plan.ExecutionPlan` bound to a fixed
     positional argument order."""
 
-    __slots__ = ("plan", "scheduler", "calls", "_arg_binds", "_n_args")
+    __slots__ = ("plan", "scheduler", "calls", "_arg_binds", "_n_args",
+                 "_donor_args")
 
     def __init__(self, plan, arg_tensors, scheduler=None):
         """Bind ``arg_tensors`` (the plan's feed tensors, in the order
@@ -83,6 +85,12 @@ class BoundPlan:
         self.scheduler = scheduler
         self._arg_binds = tuple(binds)
         self._n_args = len(binds)
+        # Argument positions whose buffers the donate path writes into
+        # (resolved once here so each donate call checks a tuple of
+        # ints, not the feed-slot mapping).
+        donated = set(plan.donated_feed_slots)
+        self._donor_args = tuple(
+            i for i, b in enumerate(binds) if b[0] in donated)
         # Lifetime execute_flat count.  Updated without a lock: one
         # CPython int add on a path that already runs the kernel loop,
         # so the serving-observability counter is approximate under
@@ -105,7 +113,7 @@ class BoundPlan:
             "graph_version": plan.graph_version,
         }
 
-    def execute_flat(self, args):
+    def execute_flat(self, args, donate=False):
         """Run the plan on positional argument values; returns the flat
         fetch results (ndarrays, in fetch order).
 
@@ -115,6 +123,14 @@ class BoundPlan:
         compatibility against the bound placeholder's static shape is
         still enforced — it is one tuple walk, and silently broadcasting
         a wrong-shaped feed is how serving bugs become model bugs.
+
+        ``donate=True`` relinquishes the caller's input buffers for this
+        call: ``inplace_no_alias`` steps the plan armed at compile time
+        may write results directly into dead feed arrays (so a fetched
+        result can *be* the caller's input array).  Opting in is safe
+        but conditional — each donated buffer must arrive as a writeable
+        ndarray not aliased by any other argument, otherwise this call
+        silently runs the normal non-donating steps.
         """
         if len(args) != self._n_args:
             raise FetchError(
@@ -146,8 +162,32 @@ class BoundPlan:
                             f"({', '.join(str(d) for d in partial)})"
                         )
             values[slot] = (a,)
-        plan.execute(values, self.scheduler)
+        if donate and self._donor_args:
+            donate = self._donation_safe(values)
+            if donate:
+                _REC.counter("runtime.feed_donations", len(self._donor_args))
+            else:
+                _REC.counter("runtime.feed_donation_fallbacks")
+        else:
+            donate = False
+        plan.execute(values, self.scheduler, donate=donate)
         return plan.fetch(values)
+
+    def _donation_safe(self, values):
+        """Whether every donated feed buffer may really be written: a
+        writeable ndarray that is not the same object as any *other*
+        bound argument (writing into a shared buffer would corrupt the
+        reads of later steps through the aliasing slot)."""
+        binds = self._arg_binds
+        for ai in self._donor_args:
+            slot = binds[ai][0]
+            buf = values[slot][0]
+            if type(buf) is not np.ndarray or not buf.flags.writeable:
+                return False
+            for b in binds:
+                if b[0] != slot and buf is values[b[0]][0]:
+                    return False
+        return True
 
     def __repr__(self):
         return f"<BoundPlan args={self._n_args} plan={self.plan!r}>"
@@ -183,10 +223,12 @@ class PlanCache:
             plan = self._entries.get(key)
             if plan is None:
                 self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return plan
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        _REC.counter("runtime.plan_cache.hits" if plan is not None
+                     else "runtime.plan_cache.misses")
+        return plan
 
     def peek(self, key):
         """Lookup without stats or recency effects (double-check path)."""
@@ -196,6 +238,7 @@ class PlanCache:
     def put(self, key, plan):
         """Insert ``plan`` (unless ``key`` is already present) and return
         the cached plan; evicts LRU entries beyond capacity."""
+        evicted = 0
         with self._lock:
             incumbent = self._entries.get(key)
             if incumbent is not None:
@@ -204,7 +247,10 @@ class PlanCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
-            return plan
+                evicted += 1
+        if evicted:
+            _REC.counter("runtime.plan_cache.evictions", evicted)
+        return plan
 
     def clear(self):
         with self._lock:

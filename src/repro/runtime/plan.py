@@ -46,6 +46,7 @@ import numpy as np
 from ..framework.errors import ExecutionError, FetchError
 from ..framework.graph.graph import Operation, Tensor
 from ..framework.graph.optimize import has_opaque_attrs
+from ..observe.events import RECORDER as _REC
 
 __all__ = ["ExecutionPlan", "compile_plan"]
 
@@ -66,6 +67,12 @@ class ExecutionPlan:
       levels: wavefront partition of step indices — steps in one level
         are mutually independent (data, control and stateful-order
         dependencies all land in earlier levels).
+      donate_steps: ``None``, or an alternate ``steps`` tuple in which
+        some ``inplace_no_alias`` steps additionally write into dead
+        *feed* buffers — the opt-in ``execute(..., donate=True)`` path
+        (the caller relinquishes its input arrays for the call).
+      donated_feed_slots: the feed slots ``donate_steps`` writes into;
+        the binder runtime-checks those buffers before opting in.
       refs: strong references to the fetch/feed objects this plan was
         compiled for.  Cache keys contain ``id()``s; holding the objects
         guarantees CPython cannot recycle those ids into *different*
@@ -73,10 +80,12 @@ class ExecutionPlan:
     """
 
     __slots__ = ("steps", "fetch_locators", "feed_slots", "n_slots",
-                 "base_values", "graph", "graph_version", "levels", "refs")
+                 "base_values", "graph", "graph_version", "levels",
+                 "donate_steps", "donated_feed_slots", "refs")
 
     def __init__(self, steps, fetch_locators, feed_slots, n_slots,
-                 base_values, graph, graph_version, levels=(), refs=()):
+                 base_values, graph, graph_version, levels=(),
+                 donate_steps=None, donated_feed_slots=(), refs=()):
         self.steps = steps
         self.fetch_locators = fetch_locators
         self.feed_slots = feed_slots
@@ -85,6 +94,8 @@ class ExecutionPlan:
         self.graph = graph
         self.graph_version = graph_version
         self.levels = levels
+        self.donate_steps = donate_steps
+        self.donated_feed_slots = donated_feed_slots
         self.refs = refs
 
     # -- execution ---------------------------------------------------------
@@ -93,17 +104,26 @@ class ExecutionPlan:
         """A fresh per-call slot array (constants already in place)."""
         return list(self.base_values)
 
-    def execute(self, values, scheduler=None):
+    def execute(self, values, scheduler=None, donate=False):
         """Run every step against ``values`` (feeds already bound).
 
         With a parallel ``scheduler`` the steps run level by level,
         each level's independent steps fanned out on the scheduler's
         worker pool (slot stores into distinct indices of ``values``
         are safe under the GIL; the kernels release it).
+
+        ``donate=True`` runs :attr:`donate_steps` instead — the caller
+        asserts the donated feed buffers are writeable and exclusively
+        owned for this call (:meth:`BoundPlan.execute_flat
+        <repro.runtime.engine.BoundPlan.execute_flat>` verifies this
+        before opting in).
         """
-        if (scheduler is not None and scheduler.parallel
-                and len(self.steps) > 1):
-            steps = self.steps
+        steps = self.steps
+        if donate and self.donate_steps is not None:
+            steps = self.donate_steps
+        if _REC.enabled:
+            return self._execute_traced(values, scheduler, steps)
+        if scheduler is not None and scheduler.parallel and len(steps) > 1:
             run = self._run_step
             for level in self.levels:
                 if len(level) == 1:
@@ -113,7 +133,7 @@ class ExecutionPlan:
                         lambda i, _s=steps, _v=values: run(_s[i], _v),
                         level)
             return values
-        for slot, kernel, locators, single, op_name, inplace in self.steps:
+        for slot, kernel, locators, single, op_name, inplace in steps:
             try:
                 args = [values[j][k] for j, k in locators]
                 if inplace is not None:
@@ -170,6 +190,44 @@ class ExecutionPlan:
                 f"Error executing op {op_name!r}: {e}", op_name=op_name
             ) from e
         values[slot] = (out,) if single else tuple(out)
+
+    def _execute_traced(self, values, scheduler, steps):
+        """The recording twin of :meth:`execute`: one ``"step"`` span
+        per executed step (named after the op, so the profiler's
+        top-kernels view aggregates directly) and — on the parallel
+        path — one ``"level"`` span per wavefront.  Lives off to the
+        side so the untraced loops stay branch-free inside."""
+        rec = _REC
+        run = self._run_step_traced
+        t_plan = rec.begin()
+        try:
+            if (scheduler is not None and scheduler.parallel
+                    and len(steps) > 1):
+                for ln, level in enumerate(self.levels):
+                    t0 = rec.begin()
+                    if len(level) == 1:
+                        run(steps[level[0]], values)
+                    else:
+                        scheduler.map(
+                            lambda i, _s=steps, _v=values: run(_s[i], _v),
+                            level)
+                    rec.end(f"level[{ln}]", "level", t0,
+                            {"steps": len(level)})
+            else:
+                for step in steps:
+                    run(step, values)
+        finally:
+            rec.end("plan.execute", "plan", t_plan,
+                    {"steps": len(steps)})
+        return values
+
+    def _run_step_traced(self, step, values):
+        rec = _REC
+        t0 = rec.begin()
+        try:
+            self._run_step(step, values)
+        finally:
+            rec.end(step[4], "step", t0, {"slot": step[0]})
 
     def fetch(self, values):
         """The flat fetch results out of an executed ``values`` array."""
@@ -337,6 +395,8 @@ def compile_plan(graph, flat_fetches, feed_tensors):
     step_levels, levels = _compute_levels(steps, step_ops)
     _assign_buffer_reuse(steps, step_ops, fetch_locators, const_slots,
                          len(needed), step_levels)
+    donate_steps, donated_feed_slots = _assign_feed_donations(
+        steps, step_ops, feed_slots, fetch_locators, step_levels)
 
     return ExecutionPlan(
         tuple(tuple(s) for s in steps),
@@ -347,6 +407,8 @@ def compile_plan(graph, flat_fetches, feed_tensors):
         graph,
         graph.version,
         levels=levels,
+        donate_steps=donate_steps,
+        donated_feed_slots=donated_feed_slots,
     )
 
 
@@ -507,3 +569,82 @@ def _assign_buffer_reuse(steps, step_ops, fetch_locators, const_slots,
             s[5] = (loc[0], loc[1], ikernel, out_shape, np.dtype(out_dtype))
             claimed.add(loc)
             break
+
+
+def _assign_feed_donations(steps, step_ops, feed_slots, fetch_locators,
+                           step_levels):
+    """The opt-in *feed-buffer* donation variant of the plan's steps.
+
+    :func:`_assign_buffer_reuse` never touches feed slots — the caller
+    owns those arrays.  But a caller that explicitly opts in
+    (``execute_flat(args, donate=True)``) relinquishes its input
+    buffers for the call, so an ``inplace_no_alias`` step that found no
+    intermediate donor may instead write into a *feed* that is dead by
+    the time the step runs, under exactly the discipline the dead-pool
+    pass uses: the feed's last consumer finishes strictly earlier in
+    both serial step order and level order, the feed is not itself
+    fetched, shapes/dtypes match exactly, and each buffer is claimed
+    once.  Steals-from-the-caller semantics make this compile-time-safe
+    but *call-time conditional*: the binder still verifies at each call
+    that every donated buffer is a writeable ndarray not aliased by
+    another argument, and falls back to the normal steps otherwise.
+
+    Returns ``(donate_steps, donated_feed_slots)`` — ``(None, ())``
+    when no step could be armed, so plans without donation
+    opportunities carry no extra tuple.
+    """
+    fetched = set(fetch_locators)
+    last_use = {}
+    for i, s in enumerate(steps):
+        for loc in s[2]:
+            li, ll = last_use.get(loc, (-1, -1))
+            last_use[loc] = (max(li, i), max(ll, step_levels[i]))
+
+    pool = {}
+    for t, slot in feed_slots:
+        loc = (slot, 0)
+        if loc in fetched:
+            continue
+        if t.dtype.np_dtype is None or not t.shape.is_fully_defined:
+            continue
+        li, ll = last_use.get(loc, (-1, -1))
+        pool.setdefault(
+            (np.dtype(t.dtype.np_dtype), t.shape.as_tuple()), []
+        ).append((li, ll, loc))
+    for entries in pool.values():
+        entries.sort()
+
+    donate_steps = [list(s) for s in steps]
+    donated = []
+    claimed = set()
+    for i, (s, op) in enumerate(zip(donate_steps, step_ops)):
+        # Only steps the intermediate-reuse pass left unarmed, and only
+        # the no-alias discipline: an alias-tolerant ufunc reading the
+        # feed it writes would still be correct, but a *dead* feed is
+        # the only case where donating beats the existing reuse.
+        if s[5] is not None or not s[3]:
+            continue
+        ikernel = op.op_def.inplace_kernel
+        if ikernel is None or not op.op_def.inplace_no_alias:
+            continue
+        runtime_attrs = {
+            k: v for k, v in op.attrs.items() if not k.startswith("_")
+        }
+        if runtime_attrs:
+            ikernel = functools.partial(ikernel, **runtime_attrs)
+        out_t = op.outputs[0]
+        out_dtype = out_t.dtype.np_dtype
+        if out_dtype is None or not out_t.shape.is_fully_defined:
+            continue
+        out_shape = out_t.shape.as_tuple()
+        lv = step_levels[i]
+        for li, ll, loc in pool.get((np.dtype(out_dtype), out_shape), ()):
+            if li >= i or ll >= lv or loc in claimed:
+                continue
+            s[5] = (loc[0], loc[1], ikernel, out_shape, np.dtype(out_dtype))
+            claimed.add(loc)
+            donated.append(loc[0])
+            break
+    if not donated:
+        return None, ()
+    return tuple(tuple(s) for s in donate_steps), tuple(sorted(donated))

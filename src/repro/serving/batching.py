@@ -44,6 +44,7 @@ import numpy as np
 from ..framework import nest
 from ..framework.eager.tensor import EagerTensor
 from ..function.tensor_spec import TensorSpec
+from ..observe.events import RECORDER as _REC
 
 __all__ = ["BatchStats", "MicroBatcher", "QueueFullError"]
 
@@ -311,6 +312,8 @@ class MicroBatcher:
         return nest.pack_sequence_as(result, leaves)
 
     def _execute(self, batch):
+        rec = _REC
+        t0 = rec.begin() if rec.enabled else 0.0
         try:
             stacked = [
                 self._stack([r.inputs[i] for r in batch])
@@ -327,5 +330,15 @@ class MicroBatcher:
                 self._n_requests += len(batch)
                 self._n_batches += 1
                 self._max_seen = max(self._max_seen, len(batch))
+            rec.counter("serving.batches")
+            rec.counter("serving.batched_requests", len(batch))
+            if rec.enabled:
+                rec.end("batch_execute", "batch", t0, {
+                    "model": self._executable.name,
+                    "coalesced": len(batch),
+                })
+                if len(batch) > 1:
+                    rec.instant("batch_coalesce", "batch",
+                                {"coalesced": len(batch)})
             for request in batch:
                 request.event.set()

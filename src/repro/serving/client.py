@@ -174,6 +174,12 @@ class ServingClient:
         """``GET /v1/models/<name>``: one signature's metadata."""
         return self._call(f"/v1/models/{name}")
 
+    def metrics(self):
+        """``GET /v1/metrics``: the live counter snapshot (engine,
+        function-cache, serving) plus per-model request/latency stats;
+        a fleet additionally reports every worker's counters merged."""
+        return self._call("/v1/metrics")
+
     def predict(self, name, inputs, priority=None):
         """``POST /v1/models/<name>:predict`` with one value per
         signature entry; ``priority="high"`` routes onto the batcher's

@@ -41,10 +41,17 @@ weight-store generations.
         client.predict("score", [[1.0, 2.0, 3.0, 4.0]])
         client.swap_weights("score", weights={"w": new_w})  # all workers
 
+The parent also **supervises**: a monitor thread (woken early by
+``SIGCHLD`` when the parent runs on the main thread) reaps any worker
+that dies and forks a replacement into the same inherited socket and
+shared blocks — the fleet heals to full strength without dropping the
+port.  Death and respawn counts are published through a parent-written
+stats block and show up under ``"supervisor"`` in ``GET /v1/models``
+and ``GET /v1/metrics``.
+
 Limitations (by design, for now): models must be *saved artifacts* (each
 worker re-loads from disk; live Python functions don't cross ``fork``
-usefully), registration happens before :meth:`start`, and a worker that
-dies is not respawned — the rest of the fleet keeps serving.
+usefully), and registration happens before :meth:`start`.
 """
 
 from __future__ import annotations
@@ -61,6 +68,7 @@ import threading
 from http.server import ThreadingHTTPServer
 from multiprocessing import get_context
 
+from ..observe.events import RECORDER as _REC
 from .server import ModelServer, _make_handler
 from .shm_store import SharedWeightStore, _unlink_segment, _untrack
 
@@ -167,7 +175,7 @@ class _FleetWorker(ModelServer):
     """
 
     def __init__(self, index, n_workers, stores, controls, stats_docs,
-                 publish_lock, max_inflight=None):
+                 publish_lock, max_inflight=None, supervisor_doc=None):
         super().__init__(max_inflight=max_inflight)
         self._worker_index = index
         self._n_workers = n_workers
@@ -176,6 +184,7 @@ class _FleetWorker(ModelServer):
         self._controls = controls      # name -> _SharedDoc
         self._stats_docs = stats_docs  # worker index -> _SharedDoc
         self._publish_lock = publish_lock
+        self._supervisor_doc = supervisor_doc  # parent-written _SharedDoc
         self._stats_lock = threading.Lock()
         self._served = 0
 
@@ -246,20 +255,33 @@ class _FleetWorker(ModelServer):
     # -- observability -----------------------------------------------------
 
     def _request_served(self):
+        with self._stats_lock:
+            self._served += 1
+        self._publish_stats()
+
+    def _publish_stats(self):
+        """Publish this worker's live stats — request count, per-model
+        latency, and its :mod:`repro.observe` counter snapshot — into
+        its seqlock stats block, where any sibling can read them."""
         doc = self._stats_docs.get(self._worker_index)
         if doc is None:
             return
         with self._stats_lock:
-            self._served += 1
             doc.write({
                 "worker": self._worker_index,
                 "pid": os.getpid(),
                 "requests": self._served,
+                "counters": _REC.counters(),
                 "models": {
                     name: endpoint.latency_stats()
                     for name, endpoint in self._endpoints.items()
                 },
             })
+
+    def _supervisor_stats(self):
+        doc = self._supervisor_doc
+        stats = doc.read() if doc is not None else None
+        return stats if stats is not None else {"deaths": 0, "respawns": 0}
 
     def _fleet_info(self):
         workers = []
@@ -272,10 +294,46 @@ class _FleetWorker(ModelServer):
                 "n_workers": self._n_workers,
                 "worker": self._worker_index,
                 "workers": workers,
+                "supervisor": self._supervisor_stats(),
                 "weight_generations": {
                     f"{name}@{label}": store.generation
                     for (name, label), store in self._stores.items()
                 },
+            }
+        }
+
+    def _metrics_info(self):
+        """The fleet view for ``GET /v1/metrics``: whichever worker the
+        kernel handed this request publishes its own fresh stats, then
+        merges every worker's stats block — per-worker request counts,
+        counters summed across workers, and the supervisor's
+        death/respawn counts."""
+        self._publish_stats()
+        workers = []
+        merged = {}
+        total = 0
+        for index in sorted(self._stats_docs):
+            stats = self._stats_docs[index].read()
+            if stats is None:
+                workers.append({"worker": index, "requests": 0})
+                continue
+            requests = int(stats.get("requests", 0))
+            total += requests
+            workers.append({
+                "worker": index,
+                "pid": stats.get("pid"),
+                "requests": requests,
+            })
+            for key, value in (stats.get("counters") or {}).items():
+                merged[key] = merged.get(key, 0) + value
+        return {
+            "fleet": {
+                "n_workers": self._n_workers,
+                "worker": self._worker_index,
+                "requests": total,
+                "merged_counters": merged,
+                "workers": workers,
+                "supervisor": self._supervisor_stats(),
             }
         }
 
@@ -320,6 +378,14 @@ class FleetServer:
         self._stats_docs = {}
         self._namespace = None
         self._publish_lock = None
+        self._supervisor_doc = None
+        self._supervisor = None
+        self._stop_supervising = None
+        self._wake = None
+        self._prev_sigchld = None
+        self._sigchld_installed = False
+        self._deaths = 0
+        self._respawns = 0
 
     # -- registration (before start) ---------------------------------------
 
@@ -390,6 +456,11 @@ class FleetServer:
         for index in range(self._n_workers):
             self._stats_docs[index] = _SharedDoc(
                 f"{self._namespace}w{index}", create=True)
+        # Parent-written, worker-read: death/respawn counts (single
+        # writer — the supervisor thread — so no lock).
+        self._supervisor_doc = _SharedDoc(
+            f"{self._namespace}sup", create=True)
+        self._publish_supervisor()
 
     def start(self):
         """Bind, seed shared memory, fork the workers; returns the URL."""
@@ -411,6 +482,7 @@ class FleetServer:
                 name=f"repro-fleet-worker-{index}", daemon=True)
             process.start()
             self._processes.append(process)
+        self._start_supervisor()
         return self.url
 
     def _build_worker(self, index):
@@ -419,7 +491,8 @@ class FleetServer:
         worker = _FleetWorker(
             index, self._n_workers, self._stores, self._controls,
             self._stats_docs, self._publish_lock,
-            max_inflight=self._max_inflight)
+            max_inflight=self._max_inflight,
+            supervisor_doc=self._supervisor_doc)
         for reg in self._registrations:
             worker.register(
                 reg["name"], reg["path"], version=reg["version"],
@@ -443,8 +516,90 @@ class FleetServer:
         except SystemExit:
             pass
 
+    # -- supervision -------------------------------------------------------
+
+    def _start_supervisor(self):
+        """Watch the workers; reap and respawn any that die.
+
+        A ``SIGCHLD`` handler (installable only from the main thread —
+        elsewhere the supervisor degrades to pure polling) wakes the
+        monitor early, so a crashed worker is usually replaced within
+        milliseconds; the 0.2 s poll is the fallback and also paces
+        respawns if a worker is crashing in a loop.
+        """
+        self._stop_supervising = threading.Event()
+        self._wake = threading.Event()
+        self._sigchld_installed = False
+        try:
+            self._prev_sigchld = signal.signal(
+                signal.SIGCHLD, lambda *_: self._wake.set())
+            self._sigchld_installed = True
+        except ValueError:  # pragma: no cover - non-main-thread start
+            self._prev_sigchld = None
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-fleet-supervisor",
+            daemon=True)
+        self._supervisor.start()
+
+    def _supervise(self):
+        while True:
+            self._wake.wait(0.2)
+            self._wake.clear()
+            if self._stop_supervising.is_set():
+                return
+            self._reap_and_respawn()
+
+    def _reap_and_respawn(self):
+        changed = False
+        for index, process in enumerate(self._processes):
+            if process.is_alive():
+                continue
+            process.join()
+            self._deaths += 1
+            # The replacement forks from the current parent, inheriting
+            # the same listening socket, stores, control and stats
+            # blocks — it serves the same port under the same worker
+            # index as its predecessor.
+            replacement = _mp.Process(
+                target=self._worker_entry, args=(index,),
+                name=f"repro-fleet-worker-{index}", daemon=True)
+            replacement.start()
+            self._processes[index] = replacement
+            self._respawns += 1
+            changed = True
+        if changed:
+            self._publish_supervisor()
+
+    def _publish_supervisor(self):
+        if self._supervisor_doc is not None:
+            self._supervisor_doc.write({
+                "deaths": self._deaths,
+                "respawns": self._respawns,
+                "pids": [p.pid for p in self._processes],
+            })
+
+    def _stop_supervisor(self):
+        if self._supervisor is None:
+            return
+        # Order matters: the supervisor must be down before stop()
+        # terminates the workers, or it would respawn them mid-shutdown.
+        self._stop_supervising.set()
+        self._wake.set()
+        self._supervisor.join()
+        self._supervisor = None
+        if self._sigchld_installed:
+            restore = (self._prev_sigchld if self._prev_sigchld is not None
+                       else signal.SIG_DFL)
+            try:
+                signal.signal(signal.SIGCHLD, restore)
+            except ValueError:  # pragma: no cover
+                pass
+            self._sigchld_installed = False
+            self._prev_sigchld = None
+
     def stop(self):
         """Terminate the workers, close the socket, free shared memory."""
+        self._stop_supervisor()
         for process in self._processes:
             process.terminate()
         for process in self._processes:
@@ -465,6 +620,9 @@ class FleetServer:
         for doc in self._stats_docs.values():
             doc.unlink()
         self._stats_docs = {}
+        if self._supervisor_doc is not None:
+            self._supervisor_doc.unlink()
+            self._supervisor_doc = None
 
     def __enter__(self):
         self.start()

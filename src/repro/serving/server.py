@@ -10,6 +10,10 @@ entirely, see :mod:`repro.serving.wire`):
   versions, batching configuration, canary split, request counts,
   latency stats and engine (bound-plan) info;
 - ``GET /v1/models/<name>`` — one signature's metadata;
+- ``GET /v1/metrics`` — the live :mod:`repro.observe` counter snapshot
+  (engine, function-cache and serving counters) plus per-model request
+  counts and latency stats; a fleet worker answers with the counters of
+  *every* worker merged from the shared stats blocks;
 - ``POST /v1/models/<name>:predict`` with body ``{"inputs": [...]}`` —
   one value per signature entry; responds ``{"outputs": [...],
   "backend": ..., "version": ...}`` with the flattened result leaves.
@@ -86,6 +90,7 @@ from ..framework.eager.tensor import EagerTensor
 from ..framework.errors import FrameworkError
 from ..function.executable import Executable, resolve_executable
 from ..function.tensor_spec import TensorSpec
+from ..observe.events import RECORDER as _REC
 from . import wire
 from .batching import MicroBatcher, QueueFullError
 
@@ -569,6 +574,10 @@ class ModelServer:
         """Extra fleet-wide observability for ``GET /v1/models``."""
         return {}
 
+    def _metrics_info(self):
+        """Fleet hook: merged per-worker counters for ``/v1/metrics``."""
+        return {}
+
     def _request_served(self):
         """Post-request hook (fleet workers publish stats here)."""
 
@@ -583,6 +592,25 @@ class ModelServer:
             }
         }
         doc.update(self._fleet_info())
+        return doc
+
+    def _metrics(self):
+        """The ``GET /v1/metrics`` document: this process's live
+        :mod:`repro.observe` counters (engine, function-cache, serving)
+        plus per-model request counts and latency stats.  Fleet workers
+        extend it with the merged per-worker view via
+        :meth:`_metrics_info`."""
+        doc = {
+            "counters": _REC.counters(),
+            "models": {
+                name: {
+                    "requests": ep.requests,
+                    "latency": ep.latency_stats(),
+                }
+                for name, ep in self._endpoints.items()
+            },
+        }
+        doc.update(self._metrics_info())
         return doc
 
     def _describe_one(self, name):
@@ -637,6 +665,13 @@ class ModelServer:
                 leaf = leaf.numpy()
             outputs.append(leaf)
         endpoint.record_latency(time.perf_counter() - started)
+        _REC.counter("serving.requests")
+        _REC.counter(f"serving.requests.{name}")
+        if _REC.enabled:
+            _REC.end(f"predict:{name}", "request", started, {
+                "model": name, "version": version.label,
+                "priority": priority,
+            })
         self._request_served()
         return {"outputs": outputs, "backend": executable.backend,
                 "version": version.label}
@@ -786,6 +821,9 @@ def _make_handler(server):
             try:
                 if self.path == "/v1/models":
                     self._reply(200, server._describe_all())
+                    return
+                if self.path == "/v1/metrics":
+                    self._reply(200, server._metrics())
                     return
                 if self.path.startswith("/v1/models/"):
                     name = self.path[len("/v1/models/"):]

@@ -174,6 +174,117 @@ def test_transpose_and_concat(pm):
         c.to_dense(), np.concatenate([dense, dense], axis=0))
 
 
+COMPARISONS = ["Greater", "GreaterEqual", "Less", "LessEqual", "Equal",
+               "NotEqual"]
+_COMPARISON_FNS = {
+    "Greater": bops.greater, "GreaterEqual": bops.greater_equal,
+    "Less": bops.less, "LessEqual": bops.less_equal,
+    "Equal": bops.equal, "NotEqual": bops.not_equal,
+}
+
+
+@given(pm=partitioned_matrix(integer_valued=True),
+       op_index=st.integers(0, len(COMPARISONS) - 1), data=st.data())
+def test_comparisons_bitwise(pm, op_index, data):
+    # Integer-valued operands so Equal/NotEqual actually fire both ways.
+    dense, grid = pm
+    other = np.asarray(data.draw(st.lists(
+        st.integers(-4, 4), min_size=dense.size, max_size=dense.size)),
+        np.float32).reshape(dense.shape)
+    op_name = COMPARISONS[op_index]
+    kernel = registry.get_op_def(op_name).kernel
+    fn = _COMPARISON_FNS[op_name]
+    bx = BlockArray.from_dense(dense, grid=grid)
+    by = BlockArray.from_dense(other, grid=grid)
+    expect = kernel(dense, other)
+    assert expect.dtype == np.bool_
+    np.testing.assert_array_equal(fn(bx, by).to_dense(), expect)
+    np.testing.assert_array_equal(fn(bx, other).to_dense(), expect)
+    np.testing.assert_array_equal(fn(dense, by).to_dense(), expect)
+
+
+@given(pm=partitioned_matrix(), data=st.data())
+def test_where_full_rank_cond_matches_dense(pm, data):
+    dense, grid = pm
+    other = np.asarray(data.draw(st.lists(
+        st.floats(-10, 10, allow_nan=False, width=32),
+        min_size=dense.size, max_size=dense.size)),
+        np.float32).reshape(dense.shape)
+    cond = np.asarray(data.draw(st.lists(
+        st.booleans(), min_size=dense.size, max_size=dense.size))
+    ).reshape(dense.shape)
+    bx = BlockArray.from_dense(dense, grid=grid)
+    by = BlockArray.from_dense(other, grid=grid)
+    bc = BlockArray.from_dense(cond, grid=grid)
+    expect = np.where(cond, dense, other)
+    # Every lifting combination: blocked/dense cond, blocked/dense arms.
+    np.testing.assert_array_equal(bops.where(bc, bx, by).to_dense(), expect)
+    np.testing.assert_array_equal(bops.where(cond, bx, by).to_dense(), expect)
+    np.testing.assert_array_equal(bops.where(bc, dense, by).to_dense(),
+                                  expect)
+    np.testing.assert_array_equal(bops.where(bc, bx, other).to_dense(),
+                                  expect)
+
+
+@given(pm=partitioned_matrix(), data=st.data())
+def test_where_rank1_cond_selects_rows(pm, data):
+    # Legacy Select semantics: a rank-1 condition over rank-2 operands
+    # picks whole rows — aligned with the grid's LEADING axis, exactly
+    # like the dense kernel.
+    dense, grid = pm
+    other = np.asarray(data.draw(st.lists(
+        st.floats(-10, 10, allow_nan=False, width=32),
+        min_size=dense.size, max_size=dense.size)),
+        np.float32).reshape(dense.shape)
+    cond = np.asarray(data.draw(st.lists(
+        st.booleans(), min_size=dense.shape[0], max_size=dense.shape[0])))
+    bx = BlockArray.from_dense(dense, grid=grid)
+    expect = registry.get_op_def("Select").kernel(cond, dense, other)
+    np.testing.assert_array_equal(
+        bops.where(cond, bx, other).to_dense(), expect)
+
+
+@given(pm=partitioned_matrix())
+def test_where_scalar_arms_broadcast(pm):
+    dense, grid = pm
+    bx = BlockArray.from_dense(dense, grid=grid)
+    cond = bops.greater(bx, 0.0)
+    out = bops.where(cond, bx, np.float32(0.0))
+    np.testing.assert_array_equal(
+        out.to_dense(), np.where(dense > 0.0, dense, np.float32(0.0)))
+
+
+def test_where_validation():
+    import pytest
+
+    grid = BlockGrid.regular((4, 6), (2, 3))
+    b = BlockArray.from_dense(np.zeros((4, 6), np.float32), grid=grid)
+    with pytest.raises(TypeError, match="at least one BlockArray"):
+        bops.where(np.ones(4, bool), np.zeros((4, 6)), np.ones((4, 6)))
+    with pytest.raises(ValueError, match="leading dimensions"):
+        bops.where(np.ones(6, bool), b, b)  # rank-1 must match axis 0
+    with pytest.raises(ValueError, match="expected"):
+        bops.where(np.ones((4, 6), bool), b,
+                   BlockArray.from_dense(np.zeros((6, 4), np.float32),
+                                         grid=BlockGrid.regular((6, 4),
+                                                                (3, 2))))
+
+
+@given(pm=partitioned_matrix(), data=st.data())
+def test_where_parallel_matches_serial(pm, data):
+    dense, grid = pm
+    cond = np.asarray(data.draw(st.lists(
+        st.booleans(), min_size=dense.size, max_size=dense.size))
+    ).reshape(dense.shape)
+    bx = BlockArray.from_dense(dense, grid=grid)
+    bc = BlockArray.from_dense(cond, grid=grid)
+    serial = bops.where(bc, bx, np.float32(-1.0)).to_dense()
+    with BlockScheduler(num_workers=4) as sched:
+        parallel = bops.where(bc, bx, np.float32(-1.0),
+                              scheduler=sched).to_dense()
+    np.testing.assert_array_equal(parallel, serial)
+
+
 @given(a=partitioned_matrix(), data=st.data())
 def test_scheduler_determinism(a, data):
     """Worker count and repetition never change a single bit."""

@@ -1,0 +1,198 @@
+"""The Recorder core: ring semantics, the disabled no-op path, live
+counters, and thread-safety under concurrent emitters."""
+
+import threading
+
+import pytest
+
+from repro.observe import events as events_lib
+from repro.observe.events import RECORDER, Recorder
+
+
+class TestRecorderBasics:
+    def test_starts_disabled_and_empty(self):
+        rec = Recorder()
+        assert not rec.enabled
+        assert len(rec) == 0
+        assert rec.counters() == {}
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Recorder(capacity=0)
+
+    def test_span_records_complete_event(self):
+        rec = Recorder()
+        rec.enable()
+        with rec.span("work", "cat", {"k": 1}):
+            pass
+        (event,) = rec.events()
+        phase, name, cat, start, dur, tid, pid, args = event
+        assert phase == "X"
+        assert name == "work"
+        assert cat == "cat"
+        assert dur >= 0.0
+        assert tid == threading.get_ident()
+        assert args == {"k": 1}
+
+    def test_begin_end_matches_span_shape(self):
+        rec = Recorder()
+        rec.enable()
+        t0 = rec.begin()
+        rec.end("step", "s", t0)
+        (event,) = rec.events()
+        assert event[0] == "X" and event[1] == "step" and event[3] == t0
+
+    def test_instant(self):
+        rec = Recorder()
+        rec.enable()
+        rec.instant("tick", "cat")
+        (event,) = rec.events()
+        assert event[0] == "i" and event[4] == 0.0
+
+    def test_ring_drops_oldest(self):
+        rec = Recorder(capacity=4)
+        rec.enable()
+        for i in range(10):
+            rec.instant(f"e{i}")
+        events = rec.events()
+        assert len(events) == 4
+        assert [e[1] for e in events] == ["e6", "e7", "e8", "e9"]
+
+    def test_events_since_filters_by_start(self):
+        rec = Recorder()
+        rec.enable()
+        rec.instant("before")
+        cut = rec.begin()
+        rec.instant("after")
+        assert [e[1] for e in rec.events(since=cut)] == ["after"]
+
+    def test_clear_keeps_counters(self):
+        rec = Recorder()
+        rec.enable()
+        rec.instant("x")
+        rec.counter("n", 3)
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.counters() == {"n": 3}
+        rec.clear_counters()
+        assert rec.counters() == {}
+
+
+class TestDisabledPath:
+    def test_counters_accumulate_while_disabled(self):
+        # Counters are the always-live /v1/metrics feed: they must count
+        # with recording off, and must NOT land events in the ring.
+        rec = Recorder()
+        rec.counter("requests")
+        rec.counter("requests", 2)
+        assert rec.counters() == {"requests": 3}
+        assert len(rec) == 0
+
+    def test_counter_lands_sample_when_enabled(self):
+        rec = Recorder()
+        rec.enable()
+        rec.counter("requests", 5)
+        (event,) = rec.events()
+        assert event[0] == "C" and event[4] == 5
+
+    def test_global_recorder_disabled_by_default(self):
+        assert isinstance(RECORDER, Recorder)
+        assert not RECORDER.enabled
+
+    def test_module_level_helpers(self):
+        events_lib.enable()
+        try:
+            assert events_lib.enabled()
+        finally:
+            events_lib.disable()
+        assert not events_lib.enabled()
+        events_lib.counter("helper_test", 2)
+        try:
+            assert events_lib.counters()["helper_test"] == 2
+        finally:
+            events_lib.clear_counters()
+
+
+class TestThreadSafety:
+    def test_concurrent_emitters_lose_nothing(self):
+        # Emission is lock-free (GIL-atomic deque appends); with capacity
+        # above the total volume every event from every thread must land,
+        # and counters — behind their lock — must be exact.
+        n_threads, per_thread = 8, 500
+        rec = Recorder(capacity=n_threads * per_thread * 2 + 64)
+        rec.enable()
+        barrier = threading.Barrier(n_threads)
+
+        def emit(tid):
+            barrier.wait()
+            for i in range(per_thread):
+                t0 = rec.begin()
+                rec.end(f"t{tid}", "load", t0)
+                rec.counter("emitted")
+
+        threads = [
+            threading.Thread(target=emit, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = rec.events()
+        assert len(events) == n_threads * per_thread * 2  # span + C sample
+        spans = [e for e in events if e[0] == "X"]
+        assert len(spans) == n_threads * per_thread
+        assert rec.counters()["emitted"] == n_threads * per_thread
+        # Every emitting thread's identity is stamped on its spans.
+        assert len({e[5] for e in spans}) == n_threads
+
+    def test_concurrent_enable_disable_never_corrupts(self):
+        rec = Recorder(capacity=1024)
+        stop = threading.Event()
+
+        def toggle():
+            while not stop.is_set():
+                rec.enable()
+                rec.disable()
+
+        def emit():
+            while not stop.is_set():
+                if rec.enabled:
+                    rec.instant("x")
+
+        threads = [threading.Thread(target=toggle),
+                   threading.Thread(target=emit)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join()
+        for event in rec.events():
+            assert event[0] == "i" and event[1] == "x"
+
+
+class TestForkHygiene:
+    def test_after_fork_hook_resets_state(self):
+        # Exercise the hook directly (forking under pytest is heavy; the
+        # fleet tests cover real forks): a child must start with a clean
+        # ring, zeroed counters, a fresh pid stamp and recording off.
+        saved = (list(RECORDER._events), dict(RECORDER._counters),
+                 RECORDER.enabled)
+        try:
+            RECORDER.enable()
+            RECORDER.instant("parent-event")
+            RECORDER.counter("parent-count", 7)
+            old_lock = RECORDER._counter_lock
+            events_lib._after_fork_in_child()
+            assert len(RECORDER) == 0
+            assert RECORDER.counters() == {}
+            assert not RECORDER.enabled
+            # The lock is *replaced*, not acquired: a parent thread
+            # holding it at fork time must not deadlock the child.
+            assert RECORDER._counter_lock is not old_lock
+        finally:
+            RECORDER._events.extend(saved[0])
+            RECORDER._counters.update(saved[1])
+            RECORDER.enabled = saved[2]

@@ -1,0 +1,182 @@
+"""Feed-buffer donation: ``execute_flat(args, donate=True)``.
+
+The compile-time pass arms a step to write into a caller's feed buffer
+only under the ``inplace_no_alias`` discipline — the donor feed's last
+reader must finish strictly before the donating step (earlier step
+index AND earlier level), the feed must not itself be fetched, shapes
+and dtypes must match exactly, and each feed donates at most once.  At
+call time the donation silently falls back to fresh allocation when the
+caller's buffer is not a writeable non-aliased ndarray.
+"""
+
+import numpy as np
+
+from repro import framework as fw
+from repro.framework import ops
+from repro.observe.events import RECORDER
+from repro.runtime import BoundPlan, compile_plan
+
+
+def _tanh_matmul():
+    """MatMul's donor (x) dies at level 0 (Tanh); MatMul runs level 1."""
+    g = fw.Graph()
+    with g.as_default():
+        x = ops.placeholder(fw.float64, [8, 8], name="x")
+        w = ops.placeholder(fw.float64, [8, 8], name="w")
+        h = ops.matmul(ops.tanh(x), w)
+    return g, x, w, h
+
+
+def _args(seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(8, 8)), rng.normal(size=(8, 8))
+
+
+def _counters():
+    c = RECORDER.counters()
+    return (c.get("runtime.feed_donations", 0),
+            c.get("runtime.feed_donation_fallbacks", 0))
+
+
+class TestCompileTimeArming:
+    def test_arms_dead_feed_for_no_alias_step(self):
+        g, x, w, h = _tanh_matmul()
+        plan = compile_plan(g, [h], [x, w])
+        assert plan.donate_steps is not None
+        assert len(plan.donated_feed_slots) == 1
+        # Exactly one step differs from the normal schedule: the armed
+        # one carries a donation tag where its normal twin has None.
+        armed = [
+            (normal, donor) for normal, donor
+            in zip(plan.steps, plan.donate_steps)
+            if (normal[5] is None) != (donor[5] is None)
+        ]
+        assert len(armed) == 1
+        assert armed[0][0][4] == "MatMul"
+
+    def test_feed_consumed_by_the_step_itself_never_arms(self):
+        # inplace_no_alias means the output must not alias any input of
+        # the same step — a feed read BY the candidate step is alive, so
+        # matmul(a, b) has no donatable feed.
+        g = fw.Graph()
+        with g.as_default():
+            a = ops.placeholder(fw.float64, [8, 8], name="a")
+            b = ops.placeholder(fw.float64, [8, 8], name="b")
+            y = ops.matmul(a, b)
+        plan = compile_plan(g, [y], [a, b])
+        assert plan.donate_steps is None
+        assert plan.donated_feed_slots == ()
+
+    def test_fetched_feed_is_never_donated(self):
+        # The caller gets the feed back as an output; clobbering it
+        # would corrupt the fetch.
+        g, x, w, h = _tanh_matmul()
+        plan = compile_plan(g, [h, x], [x, w])
+        assert plan.donated_feed_slots == ()
+
+    def test_shape_mismatch_disqualifies(self):
+        g = fw.Graph()
+        with g.as_default():
+            x = ops.placeholder(fw.float64, [8, 4], name="x")
+            w = ops.placeholder(fw.float64, [4, 8], name="w")
+            h = ops.matmul(ops.tanh(x), w)  # (8, 8): matches neither feed
+        plan = compile_plan(g, [h], [x, w])
+        assert plan.donated_feed_slots == ()
+
+
+class TestCallTimeDonation:
+    def test_donated_run_writes_into_the_feed_buffer(self):
+        g, x, w, h = _tanh_matmul()
+        bp = BoundPlan(compile_plan(g, [h], [x, w]), [x, w])
+        xa, wa = _args()
+        expected = np.tanh(xa) @ wa
+        d0, _f0 = _counters()
+        out = bp.execute_flat([xa.copy(), wa], donate=True)
+        fresh = out[0]
+        assert fresh is not xa
+        donated_in = xa.copy()
+        out2 = bp.execute_flat([donated_in, wa], donate=True)
+        assert out2[0] is donated_in
+        np.testing.assert_allclose(out2[0], expected)
+        np.testing.assert_allclose(fresh, expected)
+        d1, _f1 = _counters()
+        assert d1 >= d0 + 2
+
+    def test_default_call_never_donates(self):
+        g, x, w, h = _tanh_matmul()
+        bp = BoundPlan(compile_plan(g, [h], [x, w]), [x, w])
+        xa, wa = _args(1)
+        out = bp.execute_flat([xa, wa])
+        assert out[0] is not xa
+        np.testing.assert_allclose(out[0], np.tanh(xa) @ wa)
+        # The input survives untouched.
+        np.testing.assert_array_equal(xa, _args(1)[0])
+
+    def test_readonly_buffer_falls_back(self):
+        g, x, w, h = _tanh_matmul()
+        bp = BoundPlan(compile_plan(g, [h], [x, w]), [x, w])
+        xa, wa = _args(2)
+        xa.flags.writeable = False
+        _d0, f0 = _counters()
+        out = bp.execute_flat([xa, wa], donate=True)
+        assert out[0] is not xa
+        np.testing.assert_allclose(out[0], np.tanh(xa) @ wa)
+        _d1, f1 = _counters()
+        assert f1 == f0 + 1
+
+    def test_aliased_args_fall_back(self):
+        # The same buffer fed twice: donating would corrupt the other
+        # argument mid-plan.
+        g = fw.Graph()
+        with g.as_default():
+            x = ops.placeholder(fw.float64, [8, 8], name="x")
+            w = ops.placeholder(fw.float64, [8, 8], name="w")
+            h = ops.matmul(ops.tanh(x), w)
+        bp = BoundPlan(compile_plan(g, [h], [x, w]), [x, w])
+        same = _args(3)[0]
+        _d0, f0 = _counters()
+        out = bp.execute_flat([same, same], donate=True)
+        assert out[0] is not same
+        np.testing.assert_allclose(out[0], np.tanh(same) @ same)
+        _d1, f1 = _counters()
+        assert f1 == f0 + 1
+
+    def test_donate_on_unarmed_plan_is_a_silent_noop(self):
+        g = fw.Graph()
+        with g.as_default():
+            a = ops.placeholder(fw.float64, [8, 8], name="a")
+            b = ops.placeholder(fw.float64, [8, 8], name="b")
+            y = ops.matmul(a, b)
+        bp = BoundPlan(compile_plan(g, [y], [a, b]), [a, b])
+        aa, ba = _args(4)
+        d0, f0 = _counters()
+        out = bp.execute_flat([aa, ba], donate=True)
+        assert out[0] is not aa and out[0] is not ba
+        np.testing.assert_allclose(out[0], aa @ ba)
+        assert _counters() == (d0, f0)  # neither counter moves
+
+    def test_repeated_donated_calls_stay_correct(self):
+        # The armed schedule must not leak state between calls: each
+        # call donates its own caller buffer.
+        g, x, w, h = _tanh_matmul()
+        bp = BoundPlan(compile_plan(g, [h], [x, w]), [x, w])
+        for seed in range(5):
+            xa, wa = _args(seed)
+            expected = np.tanh(xa) @ wa
+            out = bp.execute_flat([xa, wa], donate=True)
+            assert out[0] is xa
+            np.testing.assert_allclose(out[0], expected)
+
+    def test_traced_execution_reports_donated_steps(self):
+        # The observe layer sees the donate schedule, not the normal
+        # one: per-step spans still cover every step.
+        import repro.observe as observe
+
+        g, x, w, h = _tanh_matmul()
+        bp = BoundPlan(compile_plan(g, [h], [x, w]), [x, w])
+        xa, wa = _args(6)
+        with observe.profile() as timeline:
+            out = bp.execute_flat([xa, wa], donate=True)
+        assert out[0] is xa
+        names = [s.name for s in timeline.query(cat="step")]
+        assert "Tanh" in names and "MatMul" in names
