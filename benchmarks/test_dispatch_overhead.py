@@ -160,6 +160,80 @@ def test_recorder_overhead_on_fast_path(results):
     )
 
 
+def test_fused_chain_beats_unfused_chain(results):
+    """The fusion story on Table 2's turf: a 10-op elementwise chain on
+    a tiny tensor is pure per-step dispatch overhead, and the fuser
+    collapses it into ONE generated composite kernel.
+
+    Two traces of the same function — ``fuse=True`` (default) and
+    ``fuse=False`` (the A/B knob) — run through the same bound-plan
+    fast path; the only difference is 1 step vs 10.  The gate: fusion
+    buys >= 1.3x on this chain.  Rows land in ``BENCH_ci.json``.
+    """
+    MIN_FUSION_SPEEDUP = 1.3
+
+    def chain(x):
+        from repro.framework import ops
+
+        h = ops.square(x)              # 1
+        h = ops.add(h, 1.0)            # 2
+        h = ops.sqrt(h)                # 3
+        h = ops.multiply(h, 0.5)       # 4
+        h = ops.tanh(h)                # 5
+        h = ops.add(h, 0.25)           # 6
+        h = ops.multiply(h, 1.5)       # 7
+        h = ops.negative(h)            # 8
+        h = ops.exp(h)                 # 9
+        return ops.multiply(h, 0.1)    # 10
+
+    fused = repro.function(chain, name="dispatch_chain_fused")
+    unfused = repro.function(chain, name="dispatch_chain_unfused",
+                             fuse=False)
+
+    x = np.linspace(-1.0, 1.0, 16, dtype=np.float32)
+    cf_fused = fused.get_concrete_function(x)
+    cf_unfused = unfused.get_concrete_function(x)
+
+    # The fused trace really is one composite step; the unfused, ten.
+    stats = cf_fused.engine_stats()["bound_plan"]
+    assert stats["steps"] == 1 and stats["fused_steps"] == 1
+    assert cf_unfused.engine_stats()["bound_plan"]["steps"] == 10
+
+    args = [x]
+    out_fused = cf_fused.call_flat(args)
+    out_unfused = cf_unfused.call_flat(args)
+    np.testing.assert_array_equal(out_fused.numpy(), out_unfused.numpy())
+
+    def run_fused(n):
+        call = cf_fused.call_flat
+        for _ in range(n):
+            call(args)
+
+    def run_unfused(n):
+        call = cf_unfused.call_flat
+        for _ in range(n):
+            call(args)
+
+    run_fused(10)
+    run_unfused(10)
+    t_unfused = _best_per_call(run_unfused, CALLS, REPEATS)
+    t_fused = _best_per_call(run_fused, CALLS, REPEATS)
+    speedup = t_unfused / t_fused
+
+    results.record(TABLE, "10-op elementwise chain, unfused",
+                   "per-call us", t_unfused * 1e6, unit="us")
+    results.record(TABLE, "10-op elementwise chain, fused",
+                   "per-call us", t_fused * 1e6, unit="us")
+    results.record(TABLE, "10-op elementwise chain, fused",
+                   "speedup vs unfused", speedup, unit="x")
+
+    assert speedup >= MIN_FUSION_SPEEDUP, (
+        f"fused chain {t_fused * 1e6:.2f}us/call vs unfused "
+        f"{t_unfused * 1e6:.2f}us/call = {speedup:.2f}x "
+        f"(< {MIN_FUSION_SPEEDUP}x)"
+    )
+
+
 def test_microbatcher_dispatch_has_no_per_call_feed_dicts(results):
     """The batcher's worker path rides the same bound plan: one stacked
     execute per batch.  Per-call time here is dominated by queue

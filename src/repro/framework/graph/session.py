@@ -52,12 +52,17 @@ class Session:
         beyond it); ``None`` uses
         :data:`repro.runtime.DEFAULT_PLAN_CACHE_SIZE` (128).  Counters
         are exposed via :attr:`plan_cache_stats`.
+      fuse: collapse fusable elementwise step chains into compiled
+        composite kernels when compiling plans (see
+        :func:`repro.runtime.compile_plan`); ``False`` is the A/B
+        lever for measuring fusion.
     """
 
-    def __init__(self, graph, plan_cache_size=None):
+    def __init__(self, graph, plan_cache_size=None, fuse=True):
         if not isinstance(graph, Graph):
             raise TypeError(f"Session requires a Graph, got {type(graph).__name__}")
         self.graph = graph
+        self.fuse = bool(fuse)
         self._plan_cache = PlanCache(plan_cache_size)
         self._compile_lock = threading.Lock()
 
@@ -86,7 +91,8 @@ class Session:
                 plan = self._plan_cache.peek(key)
                 if plan is None:
                     plan = compile_plan(
-                        self.graph, flat_fetches, list(feed_dict))
+                        self.graph, flat_fetches, list(feed_dict),
+                        fuse=self.fuse)
                     plan.refs = (tuple(flat_fetches), tuple(feed_dict))
                     plan = self._plan_cache.put(key, plan)
 

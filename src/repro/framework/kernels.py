@@ -49,7 +49,7 @@ def _bool_dtype_fn(input_dtypes, attrs):
 
 
 def _binary(name, fn, *, grad_capable_dtype=_promote_dtype_fn,
-            inplace_kernel=None):
+            inplace_kernel=None, fusable=None):
     # NumPy ufunc binaries always allocate their result (fresh_output),
     # so their outputs are safe buffer-donation targets.
     register_op(
@@ -59,12 +59,15 @@ def _binary(name, fn, *, grad_capable_dtype=_promote_dtype_fn,
         dtype_fn=grad_capable_dtype,
         inplace_kernel=inplace_kernel,
         fresh_output=True,
+        fusable=fusable,
     )
 
 
-def _unary(name, fn, *, dtype_fn=_first_dtype_fn, inplace_kernel=None):
+def _unary(name, fn, *, dtype_fn=_first_dtype_fn, inplace_kernel=None,
+           fusable=None):
     register_op(name, fn, shape_fn=_same_shape_fn, dtype_fn=dtype_fn,
-                inplace_kernel=inplace_kernel, fresh_output=True)
+                inplace_kernel=inplace_kernel, fresh_output=True,
+                fusable=fusable)
 
 
 def _ufunc_out(ufunc):
@@ -84,16 +87,17 @@ def _ufunc_out(ufunc):
 # Arithmetic
 # ---------------------------------------------------------------------------
 
-_binary("Add", lambda a, b: np.add(a, b), inplace_kernel=_ufunc_out(np.add))
+_binary("Add", lambda a, b: np.add(a, b), inplace_kernel=_ufunc_out(np.add),
+        fusable=np.add)
 _binary("Sub", lambda a, b: np.subtract(a, b),
-        inplace_kernel=_ufunc_out(np.subtract))
+        inplace_kernel=_ufunc_out(np.subtract), fusable=np.subtract)
 _binary("Mul", lambda a, b: np.multiply(a, b),
-        inplace_kernel=_ufunc_out(np.multiply))
+        inplace_kernel=_ufunc_out(np.multiply), fusable=np.multiply)
 _binary("Pow", lambda a, b: np.power(a, b))
 _binary("Maximum", lambda a, b: np.maximum(a, b),
-        inplace_kernel=_ufunc_out(np.maximum))
+        inplace_kernel=_ufunc_out(np.maximum), fusable=np.maximum)
 _binary("Minimum", lambda a, b: np.minimum(a, b),
-        inplace_kernel=_ufunc_out(np.minimum))
+        inplace_kernel=_ufunc_out(np.minimum), fusable=np.minimum)
 
 
 def _div_kernel(a, b):
@@ -116,9 +120,11 @@ register_op("FloorDiv", _floordiv_kernel, shape_fn=_broadcast_shape_fn,
 _binary("Mod", lambda a, b: np.mod(a, b))
 
 _unary("Neg", lambda a: np.negative(a),
-       inplace_kernel=_ufunc_out(np.negative))
-_unary("Abs", lambda a: np.abs(a), inplace_kernel=_ufunc_out(np.abs))
-_unary("Exp", lambda a: np.exp(a), inplace_kernel=_ufunc_out(np.exp))
+       inplace_kernel=_ufunc_out(np.negative), fusable=np.negative)
+_unary("Abs", lambda a: np.abs(a), inplace_kernel=_ufunc_out(np.abs),
+       fusable=np.absolute)
+_unary("Exp", lambda a: np.exp(a), inplace_kernel=_ufunc_out(np.exp),
+       fusable=np.exp)
 
 
 def _log_kernel(a):
@@ -126,7 +132,8 @@ def _log_kernel(a):
 
 
 _unary("Log", _log_kernel)
-_unary("Tanh", lambda a: np.tanh(a), inplace_kernel=_ufunc_out(np.tanh))
+_unary("Tanh", lambda a: np.tanh(a), inplace_kernel=_ufunc_out(np.tanh),
+       fusable=np.tanh)
 
 
 def _sigmoid_kernel(a):
@@ -148,8 +155,8 @@ def _sigmoid(a):
 
 _unary("Sigmoid", _sigmoid)
 _unary("Relu", lambda a: np.maximum(a, np.zeros((), dtype=np.asarray(a).dtype)))
-_unary("Sqrt", lambda a: np.sqrt(a))
-_unary("Square", lambda a: np.square(a))
+_unary("Sqrt", lambda a: np.sqrt(a), fusable=np.sqrt)
+_unary("Square", lambda a: np.square(a), fusable=np.square)
 _unary("Sign", lambda a: np.sign(a))
 _unary("Floor", lambda a: np.floor(a))
 
@@ -157,12 +164,12 @@ _unary("Floor", lambda a: np.floor(a))
 # Comparison / logical
 # ---------------------------------------------------------------------------
 
-register_op("Greater", lambda a, b: np.greater(a, b), shape_fn=_broadcast_shape_fn, dtype_fn=_bool_dtype_fn)
-register_op("GreaterEqual", lambda a, b: np.greater_equal(a, b), shape_fn=_broadcast_shape_fn, dtype_fn=_bool_dtype_fn)
-register_op("Less", lambda a, b: np.less(a, b), shape_fn=_broadcast_shape_fn, dtype_fn=_bool_dtype_fn)
-register_op("LessEqual", lambda a, b: np.less_equal(a, b), shape_fn=_broadcast_shape_fn, dtype_fn=_bool_dtype_fn)
-register_op("Equal", lambda a, b: np.equal(a, b), shape_fn=_broadcast_shape_fn, dtype_fn=_bool_dtype_fn)
-register_op("NotEqual", lambda a, b: np.not_equal(a, b), shape_fn=_broadcast_shape_fn, dtype_fn=_bool_dtype_fn)
+register_op("Greater", lambda a, b: np.greater(a, b), shape_fn=_broadcast_shape_fn, dtype_fn=_bool_dtype_fn, fusable=np.greater)
+register_op("GreaterEqual", lambda a, b: np.greater_equal(a, b), shape_fn=_broadcast_shape_fn, dtype_fn=_bool_dtype_fn, fusable=np.greater_equal)
+register_op("Less", lambda a, b: np.less(a, b), shape_fn=_broadcast_shape_fn, dtype_fn=_bool_dtype_fn, fusable=np.less)
+register_op("LessEqual", lambda a, b: np.less_equal(a, b), shape_fn=_broadcast_shape_fn, dtype_fn=_bool_dtype_fn, fusable=np.less_equal)
+register_op("Equal", lambda a, b: np.equal(a, b), shape_fn=_broadcast_shape_fn, dtype_fn=_bool_dtype_fn, fusable=np.equal)
+register_op("NotEqual", lambda a, b: np.not_equal(a, b), shape_fn=_broadcast_shape_fn, dtype_fn=_bool_dtype_fn, fusable=np.not_equal)
 register_op("LogicalAnd", lambda a, b: np.logical_and(a, b), shape_fn=_broadcast_shape_fn, dtype_fn=_bool_dtype_fn)
 register_op("LogicalOr", lambda a, b: np.logical_or(a, b), shape_fn=_broadcast_shape_fn, dtype_fn=_bool_dtype_fn)
 register_op("LogicalNot", lambda a: np.logical_not(a), shape_fn=_same_shape_fn, dtype_fn=_bool_dtype_fn)

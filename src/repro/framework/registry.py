@@ -51,6 +51,15 @@ class OpDef:
         as buffer-donation targets: donating an alias-returning kernel's
         output (``Identity``, variable reads, views) would let an
         in-place step silently corrupt caller arrays or live state.
+      fusable: ``None``, or the plain elementwise NumPy ufunc this
+        kernel wraps (``np.add``, ``np.tanh``, ...).  The runtime
+        planner's fusion pass (:mod:`repro.runtime.plan`) collapses
+        chains/trees of fusable steps into one ``exec``-compiled
+        composite kernel that calls these ufuncs directly — the
+        mapping-table idiom: op type → compiled primitive.  Only set it
+        for stateless, single-output, attr-free kernels whose behavior
+        is *exactly* ``ufunc(*inputs)`` (including dtype promotion),
+        and whose ufunc accepts ``out=`` aliasing an input.
     """
 
     __slots__ = (
@@ -64,11 +73,12 @@ class OpDef:
         "inplace_kernel",
         "inplace_no_alias",
         "fresh_output",
+        "fusable",
     )
 
     def __init__(self, name, kernel, *, num_outputs=1, grad_fn=None, shape_fn=None,
                  dtype_fn=None, stateful=False, inplace_kernel=None,
-                 inplace_no_alias=False, fresh_output=False):
+                 inplace_no_alias=False, fresh_output=False, fusable=None):
         self.name = name
         self.kernel = kernel
         self.num_outputs = num_outputs
@@ -79,6 +89,7 @@ class OpDef:
         self.inplace_kernel = inplace_kernel
         self.inplace_no_alias = inplace_no_alias
         self.fresh_output = fresh_output
+        self.fusable = fusable
 
     def __repr__(self):
         return f"OpDef({self.name!r}, outputs={self.num_outputs}, stateful={self.stateful})"

@@ -169,7 +169,7 @@ class ConcreteFunction(Executable):
 
     def __init__(self, python_function, canonical, name,
                  autograph=True, optimize=True, freeze_captures=False,
-                 num_workers=None):
+                 num_workers=None, fuse=True):
         self._python_function = python_function
         self._canonical = canonical
         self._py_signature = signature_lib.signature_of(python_function)
@@ -177,6 +177,7 @@ class ConcreteFunction(Executable):
         self._optimize = optimize
         self._freeze_captures = freeze_captures
         self._num_workers = num_workers
+        self._fuse = fuse
         self._backward = None
 
         # -- 1. trace -------------------------------------------------------
@@ -258,12 +259,12 @@ class ConcreteFunction(Executable):
             self._lowered_feeds = list(lowered.feeds)
             self._bound = BoundPlan(
                 compile_plan(lowered.graph, list(lowered.fetches),
-                             self._lowered_feeds),
+                             self._lowered_feeds, fuse=fuse),
                 self._lowered_feeds, self._scheduler)
         else:
             self._bound = BoundPlan(
                 compile_plan(opt_graph, self._run_fetches,
-                             self._runtime_feeds),
+                             self._runtime_feeds, fuse=fuse),
                 self._runtime_feeds, self._scheduler)
         self._n_outputs = len(self._output_fetches)
         # When the optimizer produced a fresh graph, nothing ever appends
@@ -518,6 +519,12 @@ class ConcreteFunction(Executable):
         """Bound-plan info for serving observability (one dict, cheap)."""
         return {"bound_plan": self._bound.describe()}
 
+    def plan_describe(self):
+        """The compiled plan's human-readable dump (steps, levels, fused
+        groups, donation arms) — see :meth:`ExecutionPlan.describe
+        <repro.runtime.plan.ExecutionPlan.describe>`."""
+        return self._current_bound().plan.describe()
+
     def _current_bound(self):
         """The bound plan, recompiled if the graph grew since binding.
 
@@ -536,7 +543,7 @@ class ConcreteFunction(Executable):
                 if bound.graph_version != self.optimized_graph.version:
                     bound = BoundPlan(
                         compile_plan(self.optimized_graph, self._run_fetches,
-                                     self._runtime_feeds),
+                                     self._runtime_feeds, fuse=self._fuse),
                         self._runtime_feeds, self._scheduler)
                     self._bound = bound
         return bound
@@ -619,7 +626,7 @@ class ConcreteFunction(Executable):
                     + [remap(s) for s in seeds])
         bound = BoundPlan(
             compile_plan(bw_graph, [g for g in grad_ts if g is not None],
-                         bw_feeds),
+                         bw_feeds, fuse=self._fuse),
             bw_feeds)
         self._backward = (bound, grad_ts, len(fg.inputs))
         return self._backward
@@ -659,7 +666,8 @@ ConcreteFunction.call_flat.__ag_do_not_convert__ = True
 
 def trace_concrete_function(python_function, canonical, name,
                             autograph=True, optimize=True,
-                            freeze_captures=False, num_workers=None):
+                            freeze_captures=False, num_workers=None,
+                            fuse=True):
     """Trace ``python_function`` for one canonical signature."""
     if context.has_default_graph():
         raise StagingError(
@@ -668,7 +676,8 @@ def trace_concrete_function(python_function, canonical, name,
     return ConcreteFunction(
         python_function, canonical, name,
         autograph=autograph, optimize=optimize,
-        freeze_captures=freeze_captures, num_workers=num_workers)
+        freeze_captures=freeze_captures, num_workers=num_workers,
+        fuse=fuse)
 
 
 class _GraphBackendBuilder(BackendBuilder):
@@ -678,11 +687,13 @@ class _GraphBackendBuilder(BackendBuilder):
     supports_relaxation = True
 
     def build(self, python_function, canonical, context_, name, *,
-              autograph, optimize, freeze_captures=False, num_workers=None):
+              autograph, optimize, freeze_captures=False, num_workers=None,
+              fuse=True):
         return trace_concrete_function(
             python_function, canonical, name,
             autograph=autograph, optimize=optimize,
-            freeze_captures=freeze_captures, num_workers=num_workers)
+            freeze_captures=freeze_captures, num_workers=num_workers,
+            fuse=fuse)
 
 
 register_backend_builder(_GraphBackendBuilder())

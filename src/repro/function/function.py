@@ -39,7 +39,8 @@ class Function:
 
     def __init__(self, python_function, name=None, autograph=True,
                  optimize=True, reduce_retracing=False, retrace_limit=8,
-                 backend="graph", freeze_captures=False, num_workers=None):
+                 backend="graph", freeze_captures=False, num_workers=None,
+                 fuse=True):
         original = getattr(python_function, "__ag_original__", None)
         if original is not None:
             python_function = original
@@ -62,6 +63,7 @@ class Function:
         self._backend = backend
         self._freeze_captures = freeze_captures
         self._num_workers = num_workers
+        self._fuse = fuse
         # Lazily computed static-recursion verdict (auto dispatch).
         self._recursive = None
         # (concrete-function name, backend, reason) per trace, newest last.
@@ -107,9 +109,14 @@ class Function:
         """All cached concrete functions, oldest first."""
         return list(self._cache.values())
 
-    def pretty_cache(self):
+    def pretty_cache(self, plans=False):
         """Human-readable view of the cached signatures: backend, specs,
-        export eligibility and model-server registrations."""
+        export eligibility and model-server registrations.
+
+        ``plans=True`` additionally dumps each graph-backend trace's
+        compiled execution plan (steps, levels, fused groups, donation
+        arms) — the "what did the planner actually compile?" view.
+        """
         lines = []
         for cf in self._cache.values():
             specs = ", ".join(repr(s) for s in cf.structured_input_signature)
@@ -119,6 +126,10 @@ class Function:
             if cf.serving_names:
                 line += f" serving={','.join(cf.serving_names)}"
             lines.append(line)
+            if plans:
+                dump = getattr(cf, "plan_describe", None)
+                if dump is not None:
+                    lines.extend("  " + ln for ln in dump().splitlines())
         return "\n".join(lines)
 
     # -- backend dispatch ------------------------------------------------------
@@ -211,6 +222,7 @@ class Function:
                 autograph=self._autograph, optimize=self._optimize,
                 freeze_captures=self._freeze_captures,
                 num_workers=self._num_workers,
+                fuse=self._fuse,
             )
             self._cache[canonical.key] = cf
             # Identity-keyed leaves (Variables, model objects) must stay
@@ -306,7 +318,7 @@ Function.get_concrete_function.__ag_do_not_convert__ = True
 
 def function(func=None, *, name=None, autograph=True, optimize=True,
              reduce_retracing=False, retrace_limit=8, backend="graph",
-             freeze_captures=False, num_workers=None):
+             freeze_captures=False, num_workers=None, fuse=True):
     """Decorate ``func`` as a traced, cached graph function.
 
     Usable bare (``@repro.function``), with options
@@ -337,6 +349,10 @@ def function(func=None, *, name=None, autograph=True, optimize=True,
         (``repro.blocks``).  Functions with ``BlockArray`` inputs default
         to one worker per core; dense functions stay serial unless this
         is set.  ``1`` forces serial execution.
+      fuse: collapse fusable elementwise step chains into compiled
+        composite kernels in each trace's execution plan (graph
+        backend; lantern ignores it).  ``False`` is the A/B lever for
+        measuring what fusion buys.
 
     Returns:
       A :class:`Function`, or a decorator when called with options only.
@@ -346,9 +362,9 @@ def function(func=None, *, name=None, autograph=True, optimize=True,
             function, name=name, autograph=autograph, optimize=optimize,
             reduce_retracing=reduce_retracing, retrace_limit=retrace_limit,
             backend=backend, freeze_captures=freeze_captures,
-            num_workers=num_workers)
+            num_workers=num_workers, fuse=fuse)
     return Function(
         func, name=name, autograph=autograph, optimize=optimize,
         reduce_retracing=reduce_retracing, retrace_limit=retrace_limit,
         backend=backend, freeze_captures=freeze_captures,
-        num_workers=num_workers)
+        num_workers=num_workers, fuse=fuse)

@@ -105,13 +105,19 @@ class BoundPlan:
         """Observability snapshot: how big the bound plan is and how
         often it has run (surfaced in ``GET /v1/models``)."""
         plan = self.plan
-        return {
+        info = {
             "args": self._n_args,
             "steps": len(plan.steps),
             "levels": len(plan.levels),
             "calls": self.calls,
             "graph_version": plan.graph_version,
         }
+        fused = getattr(plan, "fused_groups", ())
+        if fused:
+            info["fused_steps"] = len(fused)
+            info["fused_ops"] = sum(len(g[1]) for g in fused)
+            info["fused_kernels"] = [g[0] for g in fused]
+        return info
 
     def execute_flat(self, args, donate=False):
         """Run the plan on positional argument values; returns the flat

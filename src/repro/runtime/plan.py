@@ -23,7 +23,13 @@ allows (the Table-2 dispatch-overhead story):
   intermediate buffer that is provably dead before the step runs, in
   both serial and level-parallel execution order; donated buffers are
   never feeds (caller-owned), baked constants (shared across calls) or
-  fetches (returned to the caller).
+  fetches (returned to the caller);
+- **elementwise fusion** (``fuse=True``) — maximal chains/trees of
+  fusable ufunc steps whose intermediates are single-consumer and not
+  fetched collapse into one ``exec``-compiled composite kernel
+  (:mod:`repro.runtime.fusion`), so a k-op chain costs one step
+  dispatch instead of k.  Constant pre-evaluation runs *first*, so a
+  chain split by a foldable ``Const`` subtree still fuses end to end.
 
 Compilation also derives the plan's **levels**: a wavefront partition of
 the steps by data/control dependency depth (stateful steps additionally
@@ -47,6 +53,7 @@ from ..framework.errors import ExecutionError, FetchError
 from ..framework.graph.graph import Operation, Tensor
 from ..framework.graph.optimize import has_opaque_attrs
 from ..observe.events import RECORDER as _REC
+from .fusion import fuse_elementwise_steps
 
 __all__ = ["ExecutionPlan", "compile_plan"]
 
@@ -73,6 +80,9 @@ class ExecutionPlan:
         (the caller relinquishes its input arrays for the call).
       donated_feed_slots: the feed slots ``donate_steps`` writes into;
         the binder runtime-checks those buffers before opting in.
+      fused_groups: ``(span_name, member_op_names, member_op_types,
+        slot)`` per fused composite step (empty when compiled with
+        ``fuse=False`` or nothing fused).
       refs: strong references to the fetch/feed objects this plan was
         compiled for.  Cache keys contain ``id()``s; holding the objects
         guarantees CPython cannot recycle those ids into *different*
@@ -81,11 +91,13 @@ class ExecutionPlan:
 
     __slots__ = ("steps", "fetch_locators", "feed_slots", "n_slots",
                  "base_values", "graph", "graph_version", "levels",
-                 "donate_steps", "donated_feed_slots", "refs")
+                 "donate_steps", "donated_feed_slots", "fused_groups",
+                 "refs")
 
     def __init__(self, steps, fetch_locators, feed_slots, n_slots,
                  base_values, graph, graph_version, levels=(),
-                 donate_steps=None, donated_feed_slots=(), refs=()):
+                 donate_steps=None, donated_feed_slots=(), fused_groups=(),
+                 refs=()):
         self.steps = steps
         self.fetch_locators = fetch_locators
         self.feed_slots = feed_slots
@@ -96,6 +108,7 @@ class ExecutionPlan:
         self.levels = levels
         self.donate_steps = donate_steps
         self.donated_feed_slots = donated_feed_slots
+        self.fused_groups = fused_groups
         self.refs = refs
 
     # -- execution ---------------------------------------------------------
@@ -240,6 +253,40 @@ class ExecutionPlan:
         self.execute(values)
         return self.fetch(values)
 
+    def describe(self):
+        """A human-readable plan dump: steps, levels, fused groups and
+        donation arms — the debugging aid for "what did the planner
+        actually compile?".  Stable enough to grep in tests, cheap
+        enough to print from a REPL."""
+        fused_by_slot = {g[3]: g for g in self.fused_groups}
+        lines = [
+            f"ExecutionPlan: {len(self.steps)} steps in "
+            f"{len(self.levels)} levels, {self.n_slots} slots, "
+            f"{len(self.feed_slots)} feeds, "
+            f"{len(self.fetch_locators)} fetches, "
+            f"{len(self.fused_groups)} fused"
+        ]
+        level_of = {}
+        for ln, level in enumerate(self.levels):
+            for i in level:
+                level_of[i] = ln
+        for i, (slot, _kernel, locators, _single, name, inplace) in (
+                enumerate(self.steps)):
+            ins = ", ".join(f"{j}:{k}" for j, k in locators)
+            line = (f"  [{i}] L{level_of.get(i, 0)} slot={slot} "
+                    f"{name}({ins})")
+            if inplace is not None:
+                line += f" inplace<-slot{inplace[0]}"
+            g = fused_by_slot.get(slot)
+            if g is not None and name == g[0]:
+                line += f" members=[{', '.join(g[1])}]"
+            lines.append(line)
+        if self.donate_steps is not None:
+            lines.append(
+                "  donate variant writes feed slots "
+                f"{list(self.donated_feed_slots)}")
+        return "\n".join(lines)
+
     def __repr__(self):
         return (f"<ExecutionPlan steps={len(self.steps)} "
                 f"feeds={len(self.feed_slots)} "
@@ -273,7 +320,7 @@ def _resolve_fetch_tensors(graph, flat_fetches):
     return fetch_tensors
 
 
-def compile_plan(graph, flat_fetches, feed_tensors):
+def compile_plan(graph, flat_fetches, feed_tensors, *, fuse=True):
     """Compile an :class:`ExecutionPlan` for ``graph``.
 
     Args:
@@ -282,6 +329,10 @@ def compile_plan(graph, flat_fetches, feed_tensors):
         ``Variable``/``None``.
       feed_tensors: the placeholder (or intermediate) tensors whose
         values the caller will supply per call, in slot-binding order.
+      fuse: collapse chains/trees of fusable elementwise steps into
+        ``exec``-compiled composite kernels (:mod:`repro.runtime.fusion`).
+        ``False`` compiles the plain one-step-per-op plan — the A/B
+        lever for measuring what fusion buys.
 
     Raises:
       FetchError: on foreign-graph fetches/feeds, unfetchable objects, or
@@ -392,6 +443,16 @@ def compile_plan(graph, flat_fetches, feed_tensors):
         else:
             fetch_locators.append(locator(t))
 
+    # Elementwise fusion runs after constant pre-evaluation (so folded
+    # Const subtrees never split a fusable chain) and needs the fetch
+    # locators (fetched intermediates block fusion edges), but before
+    # level/donation assignment, which must see the *fused* steps.
+    fused_groups = ()
+    if fuse:
+        steps, step_ops, fused_groups = fuse_elementwise_steps(
+            steps, step_ops, fetch_locators, feed_slots, const_slots,
+            base_values)
+
     step_levels, levels = _compute_levels(steps, step_ops)
     _assign_buffer_reuse(steps, step_ops, fetch_locators, const_slots,
                          len(needed), step_levels)
@@ -409,6 +470,7 @@ def compile_plan(graph, flat_fetches, feed_tensors):
         levels=levels,
         donate_steps=donate_steps,
         donated_feed_slots=donated_feed_slots,
+        fused_groups=fused_groups,
     )
 
 
@@ -422,7 +484,12 @@ def _compute_levels(steps, step_ops):
     in parallel.  Returns ``(per-step levels, tuple of index tuples)``.
     """
     producer = {s[0]: i for i, s in enumerate(steps)}
-    index_of_op = {id(op): i for i, op in enumerate(step_ops)}
+    # Fused composite steps answer for every member op they absorbed,
+    # so control dependencies held on a fused-away op still resolve.
+    index_of_op = {}
+    for i, op in enumerate(step_ops):
+        for mid in getattr(op, "member_ids", None) or (id(op),):
+            index_of_op[mid] = i
     level = [0] * len(steps)
     last_stateful = None
     for i, (s, op) in enumerate(zip(steps, step_ops)):

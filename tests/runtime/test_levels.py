@@ -21,9 +21,13 @@ from repro.runtime import BoundPlan, compile_plan
 
 
 def _plan_for(fetches, feeds=()):
+    # These tests pin the *per-step* level machinery, so they compile
+    # unfused — elementwise fusion would (correctly) collapse the wide
+    # diamond into one composite step.  Fusion×levels interaction is
+    # covered in test_fusion.py.
     graph = (fetches[0] if isinstance(fetches, (list, tuple)) else fetches).graph
     flat = list(fetches) if isinstance(fetches, (list, tuple)) else [fetches]
-    return compile_plan(graph, flat, list(feeds))
+    return compile_plan(graph, flat, list(feeds), fuse=False)
 
 
 def _wide_graph():

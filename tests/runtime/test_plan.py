@@ -198,7 +198,10 @@ def test_single_consumer_intermediate_is_donated():
         x = ops.placeholder(fw.float32, [8])
         t = ops.add(x, ops.constant(np.ones(8, np.float32)))
         y = ops.multiply(t, ops.constant(np.full(8, 2.0, np.float32)))
-    plan = _plan_for(y, [x])
+    # Unfused: this pins the per-step donation pass (with fuse=True the
+    # add+mul chain collapses into one composite step that reuses the
+    # intermediate's buffer *inside* the generated kernel instead).
+    plan = compile_plan(g, [y], [x], fuse=False)
     assert len(_inplace_steps(plan)) == 1
     bound = BoundPlan(plan, [x])
     arg = np.arange(8, dtype=np.float32)
@@ -277,7 +280,9 @@ def test_chained_donation_is_correct_across_calls():
         h = x
         for _ in range(6):
             h = ops.tanh(ops.add(h, ops.constant(np.ones(16, np.float32))))
-    plan = _plan_for(h, [x])
+    # Unfused: pins chained per-step donation (with fuse=True the whole
+    # tanh/add ladder compiles into one composite step).
+    plan = compile_plan(g, [h], [x], fuse=False)
     assert len(_inplace_steps(plan)) >= 5
     bound = BoundPlan(plan, [x])
     arg = np.linspace(-1, 1, 16).astype(np.float32)
